@@ -1,0 +1,75 @@
+//! Figure 8: the end-to-end macrobenchmark.
+//!
+//! Seven systems (GKE Gateway, RR, LL, CH, SGLang Router, SkyWalker-CH,
+//! SkyWalker) × four workloads (ChatBot Arena, WildChat, ToT, Mixed
+//! Tree), reporting service throughput, TTFT, and end-to-end latency —
+//! the twelve panels of the paper's Fig. 8.
+//!
+//! Paper headline: SkyWalker achieves 1.12–2.06× the throughput and
+//! substantially lower TTFT than every baseline; CH edges SkyWalker by
+//! ~2 % on the *uniform* ToT workload only.
+//!
+//! Environment knobs: `SCALE` (client population multiplier, default
+//! 0.25 — the paper's counts at 1.0 take a few minutes per cell) and
+//! `SEED`.
+
+use skywalker::{fig8_scenario, run_scenario, FabricConfig, SystemKind, Workload};
+use skywalker_bench::{f, header, pct, ratio, row};
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let seed: u64 = std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!("# Fig. 8 — Macrobenchmark (scale {scale}, seed {seed})\n");
+
+    let cfg = FabricConfig::default();
+    for workload in Workload::ALL {
+        println!("## {}\n", workload.label());
+        header(&[
+            "system",
+            "tok/s",
+            "TTFT p50",
+            "TTFT p90",
+            "TTFT mean",
+            "E2E p50",
+            "E2E p90",
+            "hit rate",
+            "fwd",
+        ]);
+        let mut skywalker_tps = 0.0;
+        let mut best_baseline_tps: f64 = 0.0;
+        for system in SystemKind::FIG8 {
+            let scenario = fig8_scenario(system, workload, scale, seed);
+            let s = run_scenario(&scenario, &cfg);
+            row(&[
+                system.label().to_string(),
+                f(s.report.throughput_tps, 0),
+                format!("{:.3}s", s.report.ttft.p50),
+                format!("{:.3}s", s.report.ttft.p90),
+                format!("{:.3}s", s.report.ttft.mean),
+                format!("{:.2}s", s.report.e2e.p50),
+                format!("{:.2}s", s.report.e2e.p90),
+                pct(s.replica_hit_rate),
+                s.forwarded.to_string(),
+            ]);
+            if system == SystemKind::SkyWalker {
+                skywalker_tps = s.report.throughput_tps;
+            } else if s.report.throughput_tps > best_baseline_tps
+                && system != SystemKind::SkyWalkerCh
+            {
+                best_baseline_tps = s.report.throughput_tps;
+            }
+        }
+        if best_baseline_tps > 0.0 {
+            println!(
+                "\nSkyWalker vs best baseline: {} (paper: 1.12–2.06x across workloads)\n",
+                ratio(skywalker_tps / best_baseline_tps)
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 9: blind pushing vs the two selective-pushing variants.
+//!
+//! Single region, four replicas, thirty ToT branch-2 clients — all
+//! components co-located, so TTFT isolates prefill + queueing (§5.2).
+//! The router is cache-aware (the SGLang-style policy) in all three
+//! runs; only the admission discipline changes:
+//!
+//! - **BP**   — blind pushing (the stock router),
+//! - **SP-O** — cap outstanding requests per replica at a fixed K,
+//! - **SP-P** — push only to replicas with an empty pending queue.
+//!
+//! Paper: SP-P gives 1.27× the throughput of BP and 1.4× SP-O, an
+//! 18.47× lower P90 TTFT than BP, and a hit rate of 89.86 % vs 68.89 %.
+//!
+//! Reproduction note (see EXPERIMENTS.md): the SP-O comparison
+//! reproduces directly; our BP baseline is stronger than the paper's
+//! because it books outstanding requests exactly, so SP-P's win over BP
+//! shows up as structural robustness (bounded replica overcommit,
+//! balancer-side queueing) rather than a large tail-latency gap.
+
+use skywalker::fabric::Deployment;
+use skywalker::{fig9_scenario, run_scenario, FabricConfig, SystemKind};
+use skywalker_bench::{f, header, pct, ratio, row};
+use skywalker_core::{PolicyKind, PushMode, RoutingConstraint};
+
+fn main() {
+    // The paper runs 30 real clients and keeps replicas at high
+    // utilization; our simulated L4s admit more concurrent ToT nodes
+    // (shared ancestors cost no extra KV), so the default population is
+    // larger to reach the same saturation point.
+    let clients: u32 = std::env::var("CLIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    println!("# Fig. 9 — Selective pushing (1 region, 4 replicas, {clients} ToT clients)\n");
+
+    let cfg = FabricConfig::default();
+    let variants: [(&str, PushMode); 3] = [
+        ("BP", PushMode::Blind),
+        ("SP-O", PushMode::Outstanding { max: 40 }),
+        ("SP-P", PushMode::Pending),
+    ];
+
+    header(&[
+        "variant",
+        "tok/s",
+        "TTFT p50",
+        "TTFT p90",
+        "E2E p50",
+        "E2E p90",
+        "hit rate",
+    ]);
+    let mut results = Vec::new();
+    for (name, push) in variants {
+        let scenario = fig9_scenario(SystemKind::SglRouter, 4, clients, 9)
+            .with_deployment(Deployment::PerRegion {
+                policy: PolicyKind::CacheAware,
+                push,
+                forward: false,
+                tau: 4,
+                constraint: RoutingConstraint::Unrestricted,
+            });
+        let s = run_scenario(&scenario, &cfg);
+        row(&[
+            name.to_string(),
+            f(s.report.throughput_tps, 0),
+            format!("{:.3}s", s.report.ttft.p50),
+            format!("{:.3}s", s.report.ttft.p90),
+            format!("{:.2}s", s.report.e2e.p50),
+            format!("{:.2}s", s.report.e2e.p90),
+            pct(s.replica_hit_rate),
+        ]);
+        results.push((name, s));
+    }
+
+    let by = |name: &str| {
+        &results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("variant ran")
+            .1
+    };
+    let (bp, spo, spp) = (by("BP"), by("SP-O"), by("SP-P"));
+    println!("\n## Paper comparison\n");
+    header(&["claim", "measured", "paper"]);
+    row(&[
+        "SP-P throughput vs BP".into(),
+        ratio(spp.report.throughput_tps / bp.report.throughput_tps),
+        "1.27x".into(),
+    ]);
+    row(&[
+        "SP-P throughput vs SP-O".into(),
+        ratio(spp.report.throughput_tps / spo.report.throughput_tps),
+        "1.4x".into(),
+    ]);
+    row(&[
+        "BP P90 TTFT vs SP-P".into(),
+        ratio(bp.report.ttft.p90 / spp.report.ttft.p90.max(1e-9)),
+        "18.47x".into(),
+    ]);
+    row(&[
+        "hit rate SP-P vs BP".into(),
+        format!("{} vs {}", pct(spp.replica_hit_rate), pct(bp.replica_hit_rate)),
+        "89.86% vs 68.89%".into(),
+    ]);
+}

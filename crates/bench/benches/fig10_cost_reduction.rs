@@ -1,0 +1,66 @@
+//! Figure 10: throughput of SkyWalker vs a region-local deployment as
+//! the fleet grows, under a regionally skewed (US-heavy) workload.
+//!
+//! Paper: with equal fleets SkyWalker delivers 1.07–1.18× the
+//! region-local throughput, and 9 SkyWalker replicas match 12
+//! region-local replicas — a 25 % fleet (and cost) reduction.
+
+use skywalker::{fig10_scenario, run_scenario, FabricConfig, SystemKind};
+use skywalker_bench::{f, header, ratio, row};
+use skywalker_cost::fleet_reduction;
+
+fn main() {
+    // Below saturation a closed-loop population limits throughput by
+    // itself and every system measures the same; the paper's full client
+    // counts (120/40/40) are the default.
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.8);
+    println!("# Fig. 10 — SkyWalker vs Region-Local under a US-skewed day (scale {scale})\n");
+
+    let cfg = FabricConfig::default();
+    let fleet_sizes = [3u32, 6, 9, 10, 11, 12, 15, 18];
+    header(&[
+        "replicas",
+        "Region-Local tok/s",
+        "SkyWalker tok/s",
+        "gain",
+        "RL p90 TTFT",
+        "SW p90 TTFT",
+        "SW forwarded",
+    ]);
+
+    let mut sw_points: Vec<(u32, f64)> = Vec::new();
+    let mut rl_points: Vec<(u32, f64)> = Vec::new();
+    for n in fleet_sizes {
+        let rl = run_scenario(&fig10_scenario(SystemKind::RegionLocal, n, scale, 10), &cfg);
+        let sw = run_scenario(&fig10_scenario(SystemKind::SkyWalker, n, scale, 10), &cfg);
+        row(&[
+            n.to_string(),
+            f(rl.report.throughput_tps, 0),
+            f(sw.report.throughput_tps, 0),
+            ratio(sw.report.throughput_tps / rl.report.throughput_tps.max(1e-9)),
+            format!("{:.2}s", rl.report.ttft.p90),
+            format!("{:.2}s", sw.report.ttft.p90),
+            sw.forwarded.to_string(),
+        ]);
+        sw_points.push((n, sw.report.throughput_tps));
+        rl_points.push((n, rl.report.throughput_tps));
+    }
+
+    // Find the smallest SkyWalker fleet matching the 12-replica
+    // region-local throughput (the paper's 9-vs-12 ≙ −25 % claim).
+    let rl12 = rl_points
+        .iter()
+        .find(|(n, _)| *n == 12)
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0);
+    if let Some((n, _)) = sw_points.iter().find(|(_, t)| *t >= rl12 * 0.98) {
+        println!(
+            "\nSkyWalker matches the 12-replica region-local throughput with {n} \
+             replicas: a {} fleet reduction (paper: 25% with 9 vs 12).",
+            format!("{:.0}%", 100.0 * fleet_reduction(12, *n))
+        );
+    }
+}

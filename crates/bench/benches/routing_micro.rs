@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the routing data path: the operations a
+//! production adopter pays for on every request.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skywalker_core::{hash_key, HashRing, RoutePolicy, RouteTrie, TargetState};
+use skywalker_replica::{KvConfig, PrefixCache};
+use skywalker_sim::DetRng;
+
+fn random_prompt(rng: &mut DetRng, len: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.below(50_000) as u32).collect()
+}
+
+fn shared_prefix_prompt(rng: &mut DetRng, shared: &[u32], extra: usize) -> Vec<u32> {
+    let mut p = shared.to_vec();
+    p.extend((0..extra).map(|_| rng.below(50_000) as u32));
+    p
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_trie");
+    let mut rng = DetRng::new(1);
+    let shared = random_prompt(&mut rng, 128);
+
+    group.bench_function("insert_512tok", |b| {
+        let mut rng = DetRng::new(2);
+        b.iter_batched(
+            || {
+                let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 22);
+                for t in 0..8 {
+                    trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
+                }
+                (trie, shared_prefix_prompt(&mut rng, &shared, 384))
+            },
+            |(mut trie, prompt)| trie.insert(&prompt, 9),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("best_match_512tok", |b| {
+        let mut rng = DetRng::new(3);
+        let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 22);
+        for t in 0..64 {
+            trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
+        }
+        let query = shared_prefix_prompt(&mut rng, &shared, 384);
+        b.iter(|| trie.best_match(&query, |_| true));
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_ring");
+    let mut ring: HashRing<u32> = HashRing::new(64);
+    for t in 0..12 {
+        ring.add(t);
+    }
+    group.bench_function("lookup_12_replicas", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.lookup(hash_key(&format!("user-{i}/session-3")), |_| true)
+        });
+    });
+    group.bench_function("lookup_with_skips", |b| {
+        let h = hash_key("user-under-test");
+        b.iter(|| ring.lookup(h, |t| *t > 8));
+    });
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    let candidates: Vec<TargetState<u32>> = (0..12)
+        .map(|i| TargetState {
+            id: i,
+            load: (i * 3) % 7,
+        })
+        .collect();
+    let mut rng = DetRng::new(4);
+    let shared = random_prompt(&mut rng, 96);
+    let prompt = shared_prefix_prompt(&mut rng, &shared, 160);
+
+    let mut cache_aware: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 22, 0.5);
+    for t in 0..12 {
+        cache_aware.note_dispatch(&shared_prefix_prompt(&mut rng, &shared, 160), t);
+    }
+    group.bench_function("cache_aware", |b| {
+        b.iter(|| cache_aware.select("user-1", &prompt, &candidates));
+    });
+
+    let mut ch: RoutePolicy<u32> = RoutePolicy::consistent_hash();
+    for t in 0..12 {
+        ch.add_target(t);
+    }
+    group.bench_function("consistent_hash", |b| {
+        b.iter(|| ch.select("user-1", &prompt, &candidates));
+    });
+
+    let mut ll: RoutePolicy<u32> = RoutePolicy::least_load();
+    group.bench_function("least_load", |b| {
+        b.iter(|| ll.select("user-1", &prompt, &candidates));
+    });
+    group.finish();
+}
+
+fn bench_kvcache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_cache");
+    let mut rng = DetRng::new(5);
+    let shared = random_prompt(&mut rng, 256);
+
+    group.bench_function("acquire_release_warm", |b| {
+        let mut cache = PrefixCache::new(KvConfig::L4_LLAMA8B);
+        let (l, _) = cache.acquire(&shared).unwrap();
+        cache.release(l);
+        let mut rng = DetRng::new(6);
+        b.iter_batched(
+            || shared_prefix_prompt(&mut rng, &shared, 128),
+            |prompt| {
+                let (l, cached) = cache.acquire(&prompt).unwrap();
+                assert!(cached >= 256);
+                cache.release(l);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("matched_tokens_probe", |b| {
+        let mut cache = PrefixCache::new(KvConfig::L4_LLAMA8B);
+        let mut rng = DetRng::new(7);
+        for _ in 0..32 {
+            let p = shared_prefix_prompt(&mut rng, &shared, 256);
+            let (l, _) = cache.acquire(&p).unwrap();
+            cache.release(l);
+        }
+        let probe = shared_prefix_prompt(&mut rng, &shared, 256);
+        b.iter(|| cache.matched_tokens(&probe));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie, bench_ring, bench_policy, bench_kvcache);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Regulatory routing constraints (§4.1, §7).
+//!
+//! SkyWalker supports customizable routing policies for regulatory
+//! compliance. Under GDPR, EU user traffic must not leave GDPR-compliant
+//! regions, while non-EU regions may still offload *into* the EU when EU
+//! replicas are underutilized. Amazon Bedrock's cross-region inference is
+//! modeled by the continent-local constraint (§6): offloading only within
+//! the same continent, which forgoes the inter-continental diurnal
+//! aggregation SkyWalker exploits.
+
+use skywalker_net::{Continent, Region};
+
+/// A constraint on cross-region request forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingConstraint {
+    /// Any region may offload to any other (the paper's main setting).
+    #[default]
+    Unrestricted,
+    /// EU traffic stays in the EU; non-EU traffic may go anywhere,
+    /// including into the EU (§7).
+    GdprEu,
+    /// Offloading only within the source continent (Bedrock-style, §6).
+    ContinentLocal,
+}
+
+impl RoutingConstraint {
+    /// May a request originating in `from` be served in `to`?
+    /// Local service (`from == to`) is always allowed.
+    pub fn allows(&self, from: Region, to: Region) -> bool {
+        if from == to {
+            return true;
+        }
+        match self {
+            RoutingConstraint::Unrestricted => true,
+            RoutingConstraint::GdprEu => {
+                from.continent() != Continent::Europe || to.continent() == Continent::Europe
+            }
+            RoutingConstraint::ContinentLocal => from.continent() == to.continent(),
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingConstraint::Unrestricted => "unrestricted",
+            RoutingConstraint::GdprEu => "gdpr-eu",
+            RoutingConstraint::ContinentLocal => "continent-local",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_allows_everything() {
+        let c = RoutingConstraint::Unrestricted;
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert!(c.allows(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn gdpr_keeps_eu_traffic_in_eu() {
+        let c = RoutingConstraint::GdprEu;
+        // EU → EU allowed.
+        assert!(c.allows(Region::EuWest, Region::EuCentral));
+        // EU → non-EU forbidden.
+        assert!(!c.allows(Region::EuWest, Region::UsEast));
+        assert!(!c.allows(Region::EuCentral, Region::ApNortheast));
+        // Non-EU → EU allowed (offload into compliant regions).
+        assert!(c.allows(Region::UsEast, Region::EuWest));
+        // Non-EU → non-EU allowed.
+        assert!(c.allows(Region::UsEast, Region::ApNortheast));
+    }
+
+    #[test]
+    fn continent_local_matches_bedrock_model() {
+        let c = RoutingConstraint::ContinentLocal;
+        assert!(c.allows(Region::UsEast, Region::UsWest));
+        assert!(c.allows(Region::EuWest, Region::EuCentral));
+        assert!(!c.allows(Region::UsEast, Region::EuWest));
+        assert!(!c.allows(Region::ApNortheast, Region::UsWest));
+    }
+
+    #[test]
+    fn local_service_always_allowed() {
+        for c in [
+            RoutingConstraint::Unrestricted,
+            RoutingConstraint::GdprEu,
+            RoutingConstraint::ContinentLocal,
+        ] {
+            for r in Region::ALL {
+                assert!(c.allows(r, r), "{} must allow {r} locally", c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoutingConstraint::default().label(), "unrestricted");
+        assert_eq!(RoutingConstraint::GdprEu.label(), "gdpr-eu");
+        assert_eq!(RoutingConstraint::ContinentLocal.label(), "continent-local");
+    }
+}

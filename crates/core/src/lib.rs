@@ -1,0 +1,49 @@
+//! # skywalker-core
+//!
+//! The SkyWalker load balancer: a locality-aware, cross-region load
+//! balancer for LLM inference (the paper's contribution, §3–4).
+//!
+//! The design rests on three mechanisms:
+//!
+//! 1. **Two-layer cross-region routing** (§3.1): a balancer per region is
+//!    the first contact for local clients; balancers coordinate with each
+//!    other — never directly with remote replicas — so the coordination
+//!    graph scales with the number of balancers, not replicas.
+//!    Implemented by [`RegionalBalancer`].
+//! 2. **Multi-region prefix-aware routing** (§3.2): either consistent
+//!    hashing on user/session keys (SkyWalker-CH, [`HashRing`]) or
+//!    explicit prefix trees with per-target sets and regional snapshots
+//!    (SkyWalker, [`RouteTrie`]). Both are availability-filtered.
+//!    Implemented by [`RoutePolicy`].
+//! 3. **Selective pushing on pending requests** (§3.3): requests wait at
+//!    the balancer until a replica's continuous batch can actually admit
+//!    them, read from the replica's pending queue. Implemented by
+//!    [`PushMode`].
+//!
+//! The baselines the paper compares against (round robin, least load,
+//! consistent hashing, the SGLang router's cache-aware policy) are the
+//! same building blocks in different configurations — see
+//! [`BalancerConfig::baseline`].
+//!
+//! Everything here is deterministic, I/O-free, and driven by method
+//! calls, so the identical routing code runs inside the discrete-event
+//! simulation (`skywalker` facade crate) and the live TCP servers
+//! (`skywalker-live`).
+
+mod balancer;
+mod controller;
+mod gdpr;
+mod policy;
+mod pushing;
+mod ring;
+mod trie;
+
+pub use balancer::{
+    BalancerConfig, BalancerStats, Decision, LbId, PeerState, RegionalBalancer,
+};
+pub use controller::{ControlAction, Controller};
+pub use gdpr::RoutingConstraint;
+pub use policy::{PolicyKind, RoutePolicy, TargetState};
+pub use pushing::{PushMode, ReplicaState};
+pub use ring::{hash_key, HashRing, RingTarget};
+pub use trie::{RouteTrie, TrieMatch};

@@ -1,0 +1,413 @@
+//! Routing policies: who should serve this request?
+//!
+//! A policy picks one target from a candidate list. The same abstraction
+//! serves both layers of SkyWalker's two-layer design (§3.1): between a
+//! balancer and its local replicas, and between balancers across regions.
+//! The baselines of §5.1 are policies too:
+//!
+//! | Paper system     | Policy                       | Push mode |
+//! |------------------|------------------------------|-----------|
+//! | RR               | [`RoutePolicy::round_robin`] | BP        |
+//! | LL               | [`RoutePolicy::least_load`]  | BP        |
+//! | CH               | [`RoutePolicy::consistent_hash`] | BP    |
+//! | SGLang Router    | [`RoutePolicy::cache_aware`] | BP        |
+//! | SkyWalker-CH     | [`RoutePolicy::consistent_hash`] | SP-P  |
+//! | SkyWalker        | [`RoutePolicy::cache_aware`] | SP-P      |
+//!
+//! `cache_aware` is the prefix-tree policy: route to the available target
+//! with the longest matching prefix; when the best hit ratio is below a
+//! threshold, prefix affinity is worthless and the policy explores the
+//! least-loaded target instead (§5.1: "when the prefix hit ratio is low
+//! (e.g. <50 %), it explores other underutilized replicas").
+
+use crate::ring::{hash_key, HashRing, RingTarget};
+use crate::trie::RouteTrie;
+
+/// A policy's view of one candidate target: its identity and a load
+/// figure (outstanding requests for replicas, queue length for peer
+/// balancers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetState<T> {
+    /// Target identity.
+    pub id: T,
+    /// Comparable load (lower is better).
+    pub load: u32,
+}
+
+/// A routing policy over targets of type `T`.
+#[derive(Debug)]
+pub enum RoutePolicy<T: RingTarget> {
+    /// Cycle through candidates in order.
+    RoundRobin {
+        /// Rotation cursor.
+        cursor: usize,
+    },
+    /// Pick the candidate with the least load.
+    LeastLoad,
+    /// Ring-hash on the session key with availability skipping (§3.2,
+    /// SkyWalker-CH).
+    ConsistentHash {
+        /// The ring; targets must be registered via
+        /// [`RoutePolicy::add_target`].
+        ring: HashRing<T>,
+    },
+    /// Prefix-tree routing (§3.2, SkyWalker; also models the SGLang
+    /// Router baseline when combined with blind pushing).
+    CacheAware {
+        /// Prefix trie recording which target served which prompts.
+        trie: RouteTrie<T>,
+        /// Minimum hit ratio for affinity routing; below it, explore the
+        /// least-loaded candidate.
+        threshold: f64,
+        /// Load-balance override (as in the SGLang router): when the
+        /// load gap between the most and least loaded candidate exceeds
+        /// this many requests, abandon affinity and route by shortest
+        /// queue. Under blind pushing this is what scatters prefixes and
+        /// collapses the hit rate (Fig. 9); under SP-P loads never
+        /// diverge enough to trigger it.
+        balance_abs_threshold: u32,
+    },
+}
+
+/// Which policy to construct — configuration-level mirror of
+/// [`RoutePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Round robin.
+    RoundRobin,
+    /// Least load.
+    LeastLoad,
+    /// Consistent hashing.
+    ConsistentHash,
+    /// Prefix-tree cache-aware.
+    CacheAware,
+}
+
+impl PolicyKind {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RR",
+            PolicyKind::LeastLoad => "LL",
+            PolicyKind::ConsistentHash => "CH",
+            PolicyKind::CacheAware => "Tree",
+        }
+    }
+}
+
+impl<T: RingTarget> RoutePolicy<T> {
+    /// Builds a policy of the given kind with default parameters
+    /// (affinity threshold 0.5 for the cache-aware policy).
+    pub fn build(kind: PolicyKind, trie_max_tokens: usize) -> Self {
+        Self::build_with(kind, trie_max_tokens, 0.5)
+    }
+
+    /// Builds a policy with an explicit affinity threshold (only the
+    /// cache-aware policy reads it).
+    pub fn build_with(kind: PolicyKind, trie_max_tokens: usize, threshold: f64) -> Self {
+        match kind {
+            PolicyKind::RoundRobin => Self::round_robin(),
+            PolicyKind::LeastLoad => Self::least_load(),
+            PolicyKind::ConsistentHash => Self::consistent_hash(),
+            PolicyKind::CacheAware => Self::cache_aware(trie_max_tokens, threshold),
+        }
+    }
+
+    /// Round-robin policy.
+    pub fn round_robin() -> Self {
+        RoutePolicy::RoundRobin { cursor: 0 }
+    }
+
+    /// Least-load policy.
+    pub fn least_load() -> Self {
+        RoutePolicy::LeastLoad
+    }
+
+    /// Consistent-hashing policy with 64 virtual nodes per target.
+    pub fn consistent_hash() -> Self {
+        RoutePolicy::ConsistentHash {
+            ring: HashRing::new(64),
+        }
+    }
+
+    /// Prefix-tree policy with the given trie bound and hit-ratio
+    /// threshold, and the SGLang router's default balance override of 32
+    /// outstanding requests.
+    pub fn cache_aware(trie_max_tokens: usize, threshold: f64) -> Self {
+        RoutePolicy::CacheAware {
+            trie: RouteTrie::new(trie_max_tokens),
+            threshold,
+            balance_abs_threshold: 32,
+        }
+    }
+
+    /// Registers a target (needed by consistent hashing; harmless
+    /// elsewhere).
+    pub fn add_target(&mut self, target: T) {
+        if let RoutePolicy::ConsistentHash { ring } = self {
+            ring.add(target);
+        }
+    }
+
+    /// Unregisters a target everywhere (controller decommissioning).
+    pub fn remove_target(&mut self, target: T) {
+        match self {
+            RoutePolicy::ConsistentHash { ring } => ring.remove(target),
+            RoutePolicy::CacheAware { trie, .. } => trie.purge_target(target),
+            _ => {}
+        }
+    }
+
+    /// Picks a target among `candidates` (all of which the push mode has
+    /// already deemed available). Returns `None` iff `candidates` is
+    /// empty.
+    ///
+    /// `key` is the consistent-hashing key; `prompt` the token sequence
+    /// for prefix matching.
+    pub fn select(
+        &mut self,
+        key: &str,
+        prompt: &[u32],
+        candidates: &[TargetState<T>],
+    ) -> Option<T> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            RoutePolicy::RoundRobin { cursor } => {
+                let t = candidates[*cursor % candidates.len()].id;
+                *cursor = cursor.wrapping_add(1);
+                Some(t)
+            }
+            RoutePolicy::LeastLoad => candidates
+                .iter()
+                .min_by_key(|c| (c.load, c.id))
+                .map(|c| c.id),
+            RoutePolicy::ConsistentHash { ring } => {
+                let in_candidates =
+                    |t: &T| candidates.iter().any(|c| c.id == *t);
+                ring.lookup(hash_key(key), in_candidates)
+                    // A target may be serving without having been
+                    // registered (defensive); fall back to first candidate.
+                    .or(Some(candidates[0].id))
+            }
+            RoutePolicy::CacheAware {
+                trie,
+                threshold,
+                balance_abs_threshold,
+            } => {
+                // Balance override: a badly skewed fleet routes by load,
+                // prefix affinity be damned (the SGLang router's rule).
+                let max_load = candidates.iter().map(|c| c.load).max().unwrap_or(0);
+                let min_load = candidates.iter().map(|c| c.load).min().unwrap_or(0);
+                if max_load - min_load > *balance_abs_threshold {
+                    return candidates
+                        .iter()
+                        .min_by_key(|c| (c.load, c.id))
+                        .map(|c| c.id);
+                }
+                let in_candidates =
+                    |t: &T| candidates.iter().any(|c| c.id == *t);
+                let best = trie.best_match(prompt, in_candidates);
+                let hit_ratio = match (&best, prompt.len()) {
+                    (Some(m), n) if n > 0 => m.matched as f64 / n as f64,
+                    _ => 0.0,
+                };
+                match best {
+                    Some(m) if hit_ratio >= *threshold => Some(m.target),
+                    // Low affinity (or a cold trie): balance load instead
+                    // of chasing a worthless prefix.
+                    _ => candidates
+                        .iter()
+                        .min_by_key(|c| (c.load, c.id))
+                        .map(|c| c.id),
+                }
+            }
+        }
+    }
+
+    /// Records a dispatch so affinity policies learn the placement.
+    pub fn note_dispatch(&mut self, prompt: &[u32], target: T) {
+        if let RoutePolicy::CacheAware { trie, .. } = self {
+            trie.insert(prompt, target);
+        }
+    }
+
+    /// This policy's estimate of the prefix hit ratio `target` would give
+    /// `prompt` (0 for non-affinity policies) — the cross-region
+    /// tie-breaking signal (§3.3).
+    pub fn hit_ratio(&self, prompt: &[u32], target: T) -> f64 {
+        match self {
+            RoutePolicy::CacheAware { trie, .. } if !prompt.is_empty() => {
+                trie.matched_for(prompt, target) as f64 / prompt.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states(loads: &[u32]) -> Vec<TargetState<u32>> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, l)| TargetState {
+                id: i as u32,
+                load: *l,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::round_robin();
+        let c = states(&[0, 0, 0]);
+        let picks: Vec<u32> = (0..6).map(|_| p.select("k", &[], &c).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_load_picks_minimum_with_stable_ties() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::least_load();
+        assert_eq!(p.select("k", &[], &states(&[5, 2, 9])), Some(1));
+        assert_eq!(p.select("k", &[], &states(&[3, 3, 3])), Some(0));
+    }
+
+    #[test]
+    fn consistent_hash_sticky_per_key() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::consistent_hash();
+        for t in 0..4 {
+            p.add_target(t);
+        }
+        let c = states(&[0, 0, 0, 0]);
+        let a = p.select("user-1", &[], &c).unwrap();
+        for _ in 0..10 {
+            assert_eq!(p.select("user-1", &[], &c), Some(a));
+        }
+        // Restricting candidates forces the ring walk to skip.
+        let reduced: Vec<TargetState<u32>> =
+            states(&[0, 0, 0, 0]).into_iter().filter(|s| s.id != a).collect();
+        let b = p.select("user-1", &[], &reduced).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_aware_routes_to_affinity_above_threshold() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.5);
+        let prompt: Vec<u32> = (0..10).collect();
+        p.note_dispatch(&prompt, 2);
+        // Full-prefix request: hit ratio 1.0 ≥ 0.5 → affinity target.
+        let c = states(&[0, 0, 9]);
+        assert_eq!(p.select("k", &prompt, &c), Some(2), "affinity beats load");
+    }
+
+    #[test]
+    fn cache_aware_explores_below_threshold() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.5);
+        p.note_dispatch(&[1, 2], 2);
+        // Only 2 of 10 tokens match (20 % < 50 %): least load wins.
+        let prompt: Vec<u32> = vec![1, 2, 30, 31, 32, 33, 34, 35, 36, 37];
+        let c = states(&[7, 0, 9]);
+        assert_eq!(p.select("k", &prompt, &c), Some(1));
+    }
+
+    #[test]
+    fn cache_aware_zero_threshold_cold_trie_still_selects() {
+        // A zero threshold makes every hit ratio "good enough", but a
+        // cold trie has no match at all — the policy must still pick a
+        // candidate rather than fail the dispatch.
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 12, 0.0);
+        let c = states(&[4, 1, 9]);
+        assert_eq!(p.select("k", &[1, 2, 3], &c), Some(1));
+    }
+
+    #[test]
+    fn cache_aware_balance_override_trumps_affinity() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.5);
+        let prompt: Vec<u32> = (0..10).collect();
+        p.note_dispatch(&prompt, 2);
+        // Affinity target 2 is 40 requests deeper than target 1: the
+        // balance rule (threshold 32) kicks in and routes by load.
+        let c = states(&[38, 0, 40]);
+        assert_eq!(p.select("k", &prompt, &c), Some(1));
+        // Within the threshold, affinity still wins.
+        let c = states(&[20, 0, 30]);
+        assert_eq!(p.select("k", &prompt, &c), Some(2));
+    }
+
+    #[test]
+    fn cache_aware_ignores_unavailable_affinity() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.5);
+        let prompt: Vec<u32> = (0..8).collect();
+        p.note_dispatch(&prompt, 0);
+        // Target 0 not in candidates: next-best is exploration.
+        let c = states(&[0, 3])[1..].to_vec();
+        assert_eq!(p.select("k", &prompt, &c), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rr: RoutePolicy<u32> = RoutePolicy::round_robin();
+        let mut ll: RoutePolicy<u32> = RoutePolicy::least_load();
+        let mut ch: RoutePolicy<u32> = RoutePolicy::consistent_hash();
+        let mut ca: RoutePolicy<u32> = RoutePolicy::cache_aware(64, 0.5);
+        for p in [&mut rr, &mut ll, &mut ch, &mut ca] {
+            assert_eq!(p.select("k", &[1], &[]), None);
+        }
+    }
+
+    #[test]
+    fn hit_ratio_estimates() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.5);
+        let prompt: Vec<u32> = (0..10).collect();
+        p.note_dispatch(&prompt, 3);
+        assert!((p.hit_ratio(&prompt, 3) - 1.0).abs() < 1e-9);
+        assert_eq!(p.hit_ratio(&prompt, 4), 0.0);
+        let ll: RoutePolicy<u32> = RoutePolicy::least_load();
+        assert_eq!(ll.hit_ratio(&prompt, 3), 0.0);
+    }
+
+    #[test]
+    fn remove_target_purges_state() {
+        let mut p: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 16, 0.0);
+        let prompt: Vec<u32> = (0..4).collect();
+        p.note_dispatch(&prompt, 1);
+        p.remove_target(1);
+        assert_eq!(p.hit_ratio(&prompt, 1), 0.0);
+
+        let mut ch: RoutePolicy<u32> = RoutePolicy::consistent_hash();
+        ch.add_target(1);
+        ch.add_target(2);
+        ch.remove_target(1);
+        let c = states(&[0, 0, 0]);
+        for k in 0..20 {
+            let pick = ch.select(&format!("k{k}"), &[], &c);
+            assert_ne!(pick, Some(1));
+        }
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(PolicyKind::RoundRobin.label(), "RR");
+        assert_eq!(PolicyKind::LeastLoad.label(), "LL");
+        assert_eq!(PolicyKind::ConsistentHash.label(), "CH");
+        assert_eq!(PolicyKind::CacheAware.label(), "Tree");
+    }
+
+    #[test]
+    fn build_constructs_each_kind() {
+        for kind in [
+            PolicyKind::RoundRobin,
+            PolicyKind::LeastLoad,
+            PolicyKind::ConsistentHash,
+            PolicyKind::CacheAware,
+        ] {
+            let mut p: RoutePolicy<u32> = RoutePolicy::build(kind, 1024);
+            p.add_target(0);
+            assert_eq!(p.select("k", &[], &states(&[0])), Some(0));
+        }
+    }
+}

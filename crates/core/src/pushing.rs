@@ -1,0 +1,159 @@
+//! Selective pushing (§3.3): when may the balancer hand a replica more
+//! work?
+//!
+//! Three admission disciplines are compared in the paper (Fig. 9):
+//!
+//! - **Blind pushing (BP)** — route every request to a replica
+//!   immediately on arrival. Simple, but long-running requests pile up
+//!   behind unpredictable ones and replicas diverge wildly in load.
+//! - **Selective pushing on outstanding requests (SP-O)** — cap the
+//!   number of requests in flight per replica at a fixed threshold. A
+//!   poor fit for LLMs: the *memory* a replica can host varies 20–50
+//!   requests depending on lengths, so any fixed cap is wrong most of the
+//!   time.
+//! - **Selective pushing on pending requests (SP-P, SkyWalker)** — push
+//!   only to replicas whose continuous batch still admits work, i.e.
+//!   whose pending queue is empty. The replica itself knows whether it is
+//!   memory-bound; its pending queue is the distilled signal.
+
+use skywalker_replica::ReplicaId;
+
+/// Maximum requests SP-P pushes to one replica between two probes.
+///
+/// Probe results are stale for up to one probe interval; without a burst
+/// cap, a queue drain between probes would dump everything onto the one
+/// replica whose last probe said "pending = 0". This is the replica-side
+/// analogue of the τ queue buffer on the LB-to-LB path (Alg. 1 line 11:
+/// "small buffer for newly arriving requests").
+pub const PROBE_WINDOW_BURST: u32 = 8;
+
+/// The balancer's view of one replica, refreshed by heartbeat probes
+/// (Alg. 1, `MonitorAvailability`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaState {
+    /// The replica.
+    pub id: ReplicaId,
+    /// Requests this balancer has dispatched and not yet seen complete.
+    pub outstanding: u32,
+    /// Pending-queue depth from the last probe.
+    pub pending: u32,
+    /// Running-batch size from the last probe.
+    pub running: u32,
+    /// KV utilization from the last probe, 0–1.
+    pub kv_utilization: f64,
+    /// Requests dispatched since the last probe refreshed this view.
+    pub dispatched_since_probe: u32,
+    /// False while the controller considers the replica unhealthy.
+    pub healthy: bool,
+}
+
+impl ReplicaState {
+    /// A fresh, empty, healthy replica view.
+    pub fn new(id: ReplicaId) -> Self {
+        ReplicaState {
+            id,
+            outstanding: 0,
+            pending: 0,
+            running: 0,
+            kv_utilization: 0.0,
+            dispatched_since_probe: 0,
+            healthy: true,
+        }
+    }
+}
+
+/// The admission discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushMode {
+    /// Push immediately, always (BP).
+    Blind,
+    /// Push while outstanding < max (SP-O).
+    Outstanding {
+        /// Fixed per-replica cap on in-flight requests.
+        max: u32,
+    },
+    /// Push while the replica reports an empty pending queue (SP-P).
+    Pending,
+}
+
+impl PushMode {
+    /// Whether `replica` may receive another request right now.
+    /// Unhealthy replicas are never pushable.
+    pub fn replica_available(&self, replica: &ReplicaState) -> bool {
+        if !replica.healthy {
+            return false;
+        }
+        match self {
+            PushMode::Blind => true,
+            PushMode::Outstanding { max } => replica.outstanding < *max,
+            PushMode::Pending => {
+                replica.pending == 0
+                    && replica.dispatched_since_probe < PROBE_WINDOW_BURST
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PushMode::Blind => "BP",
+            PushMode::Outstanding { .. } => "SP-O",
+            PushMode::Pending => "SP-P",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica(outstanding: u32, pending: u32) -> ReplicaState {
+        ReplicaState {
+            outstanding,
+            pending,
+            ..ReplicaState::new(ReplicaId(0))
+        }
+    }
+
+    #[test]
+    fn blind_always_pushes() {
+        let m = PushMode::Blind;
+        assert!(m.replica_available(&replica(1000, 50)));
+    }
+
+    #[test]
+    fn outstanding_caps_in_flight() {
+        let m = PushMode::Outstanding { max: 3 };
+        assert!(m.replica_available(&replica(2, 9)));
+        assert!(!m.replica_available(&replica(3, 0)));
+    }
+
+    #[test]
+    fn pending_reads_the_replica_signal() {
+        let m = PushMode::Pending;
+        // High outstanding is fine as long as the batch still admits.
+        assert!(m.replica_available(&replica(40, 0)));
+        // A single pending request means the batch is full.
+        assert!(!m.replica_available(&replica(2, 1)));
+    }
+
+    #[test]
+    fn unhealthy_never_available() {
+        let mut r = replica(0, 0);
+        r.healthy = false;
+        for m in [
+            PushMode::Blind,
+            PushMode::Outstanding { max: 10 },
+            PushMode::Pending,
+        ] {
+            assert!(!m.replica_available(&r));
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PushMode::Blind.label(), "BP");
+        assert_eq!(PushMode::Outstanding { max: 1 }.label(), "SP-O");
+        assert_eq!(PushMode::Pending.label(), "SP-P");
+    }
+}

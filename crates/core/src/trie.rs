@@ -1,0 +1,573 @@
+//! The balancer-side routing trie (§3.2).
+//!
+//! Each load balancer maintains prefix trees over its load-balancing
+//! targets: one over local replicas, and one over remote load balancers
+//! (the *regional snapshot*). The tree is a token-level radix trie where
+//! every node carries the set of targets that have served a request whose
+//! prompt passes through that node. Because a request's path is recorded
+//! at *every* node along it, each child's target set is a subset of its
+//! parent's — the invariant that lets lookup terminate early: once no
+//! *available* target matches at the current node, none can exist deeper.
+//!
+//! Memory is bounded: the trie never stores more than a configured number
+//! of tokens, evicting the earliest-inserted leaves first, exactly as the
+//! paper specifies ("evicts entries when the tree exceeds this limit,
+//! starting with the earliest inserted records").
+//!
+//! The trie is generic over the target type `T`: `ReplicaId` in the
+//! LB-to-replica layer, `LbId` in the LB-to-LB layer.
+
+use std::collections::BTreeMap;
+
+/// Result of a routing lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieMatch<T> {
+    /// The chosen target.
+    pub target: T,
+    /// Length of the matched prefix, in tokens.
+    pub matched: usize,
+}
+
+#[derive(Debug)]
+struct TNode<T> {
+    seg: Vec<u32>,
+    parent: usize,
+    children: BTreeMap<u32, usize>,
+    /// Targets recorded at this node, with the sequence number of their
+    /// most recent insertion (freshness).
+    targets: BTreeMap<T, u64>,
+    /// Sequence number when this node was first created (eviction order).
+    created_seq: u64,
+    dead: bool,
+}
+
+const ROOT: usize = 0;
+
+/// A bounded prefix trie mapping token sequences to routing targets.
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_core::RouteTrie;
+///
+/// let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 20);
+/// trie.insert(&[1, 2, 3, 4], 7);
+/// trie.insert(&[1, 2, 9], 8);
+///
+/// let m = trie.best_match(&[1, 2, 3, 4, 5], |_| true).unwrap();
+/// assert_eq!(m.target, 7);
+/// assert_eq!(m.matched, 4);
+///
+/// // Availability filtering: with 7 unavailable, 8 still matches [1, 2].
+/// let m = trie.best_match(&[1, 2, 3], |t| *t != 7).unwrap();
+/// assert_eq!(m.target, 8);
+/// assert_eq!(m.matched, 2);
+/// ```
+#[derive(Debug)]
+pub struct RouteTrie<T> {
+    nodes: Vec<TNode<T>>,
+    free: Vec<usize>,
+    max_tokens: usize,
+    stored_tokens: usize,
+    seq: u64,
+}
+
+impl<T: Copy + Ord> RouteTrie<T> {
+    /// Creates an empty trie bounded to `max_tokens` stored tokens.
+    pub fn new(max_tokens: usize) -> Self {
+        RouteTrie {
+            nodes: vec![TNode {
+                seg: Vec::new(),
+                parent: ROOT,
+                children: BTreeMap::new(),
+                targets: BTreeMap::new(),
+                created_seq: 0,
+                dead: false,
+            }],
+            free: Vec::new(),
+            max_tokens,
+            stored_tokens: 0,
+            seq: 0,
+        }
+    }
+
+    /// Tokens currently stored.
+    pub fn stored_tokens(&self) -> usize {
+        self.stored_tokens
+    }
+
+    /// The configured bound.
+    pub fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// True if no request has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.nodes[ROOT].children.is_empty()
+    }
+
+    /// Records that `target` served a request with this prompt. The target
+    /// is added to every node along the path; the path is created (and
+    /// split) as needed; the size bound is enforced afterwards.
+    pub fn insert(&mut self, tokens: &[u32], target: T) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.nodes[ROOT].targets.insert(target, seq);
+        let mut node = ROOT;
+        let mut pos = 0usize;
+        while pos < tokens.len() {
+            match self.nodes[node].children.get(&tokens[pos]).copied() {
+                Some(child) => {
+                    let common = self.nodes[child]
+                        .seg
+                        .iter()
+                        .zip(&tokens[pos..])
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    let next = if common < self.nodes[child].seg.len() {
+                        self.split(child, common)
+                    } else {
+                        child
+                    };
+                    self.nodes[next].targets.insert(target, seq);
+                    node = next;
+                    pos += common;
+                }
+                None => {
+                    let seg = tokens[pos..].to_vec();
+                    pos = tokens.len();
+                    let leaf = self.alloc(seg, node, seq);
+                    self.nodes[leaf].targets.insert(target, seq);
+                    let first = self.nodes[leaf].seg[0];
+                    self.nodes[node].children.insert(first, leaf);
+                    node = leaf;
+                }
+            }
+        }
+        self.enforce_bound();
+    }
+
+    /// Finds the *available* target with the longest matching prefix
+    /// (Alg. 1, `MaxPrefixMatch`). Descends only while the current node
+    /// has at least one available target — correct because target sets
+    /// shrink along any root-to-leaf path.
+    pub fn best_match<F: Fn(&T) -> bool>(
+        &self,
+        tokens: &[u32],
+        available: F,
+    ) -> Option<TrieMatch<T>> {
+        let pick = |node: &TNode<T>| -> Option<T> {
+            // Most recently refreshed available target; ties broken by
+            // target order (BTreeMap iteration is ordered by T).
+            node.targets
+                .iter()
+                .filter(|(t, _)| available(t))
+                .max_by_key(|(t, seq)| (**seq, std::cmp::Reverse(**t)))
+                .map(|(t, _)| *t)
+        };
+
+        let mut best: Option<TrieMatch<T>> = pick(&self.nodes[ROOT])
+            .map(|target| TrieMatch { target, matched: 0 });
+        best.as_ref()?;
+
+        let mut node = ROOT;
+        let mut pos = 0usize;
+        while pos < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
+                break;
+            };
+            let common = self.nodes[child]
+                .seg
+                .iter()
+                .zip(&tokens[pos..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            if common == 0 {
+                break;
+            }
+            // Early termination: no available target below this point.
+            let Some(target) = pick(&self.nodes[child]) else {
+                break;
+            };
+            pos += common;
+            best = Some(TrieMatch {
+                target,
+                matched: pos,
+            });
+            if common < self.nodes[child].seg.len() {
+                break;
+            }
+            node = child;
+        }
+        best
+    }
+
+    /// The longest prefix of `tokens` recorded for `target` specifically —
+    /// the per-target hit-ratio estimate used for tie-breaking (§3.3).
+    pub fn matched_for(&self, tokens: &[u32], target: T) -> usize {
+        let mut node = ROOT;
+        let mut pos = 0usize;
+        if !self.nodes[ROOT].targets.contains_key(&target) {
+            return 0;
+        }
+        while pos < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
+                break;
+            };
+            if !self.nodes[child].targets.contains_key(&target) {
+                break;
+            }
+            let common = self.nodes[child]
+                .seg
+                .iter()
+                .zip(&tokens[pos..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            pos += common;
+            if common < self.nodes[child].seg.len() {
+                break;
+            }
+            node = child;
+        }
+        pos
+    }
+
+    /// Removes a target from every node (e.g. a replica decommissioned by
+    /// the controller). Nodes whose target set empties are dropped.
+    pub fn purge_target(&mut self, target: T) {
+        for n in self.nodes.iter_mut() {
+            if !n.dead {
+                n.targets.remove(&target);
+            }
+        }
+        // Drop leaves with no targets (repeatedly, so chains collapse).
+        loop {
+            let victim = self.nodes.iter().enumerate().find_map(|(i, n)| {
+                (i != ROOT && !n.dead && n.children.is_empty() && n.targets.is_empty())
+                    .then_some(i)
+            });
+            match victim {
+                Some(i) => self.remove_leaf(i),
+                None => break,
+            }
+        }
+    }
+
+    /// Checks the subset invariant and token accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut stored = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.dead || i == ROOT {
+                continue;
+            }
+            stored += n.seg.len();
+            assert!(!n.seg.is_empty(), "non-root node with empty segment");
+            let parent = &self.nodes[n.parent];
+            for t in n.targets.keys() {
+                assert!(
+                    parent.targets.contains_key(t),
+                    "child target set must be a subset of the parent's"
+                );
+            }
+            assert_eq!(parent.children.get(&n.seg[0]), Some(&i), "broken link");
+        }
+        assert_eq!(stored, self.stored_tokens, "token accounting drifted");
+        assert!(
+            self.stored_tokens <= self.max_tokens,
+            "size bound violated: {} > {}",
+            self.stored_tokens,
+            self.max_tokens
+        );
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn alloc(&mut self, seg: Vec<u32>, parent: usize, seq: u64) -> usize {
+        self.stored_tokens += seg.len();
+        let node = TNode {
+            seg,
+            parent,
+            children: BTreeMap::new(),
+            targets: BTreeMap::new(),
+            created_seq: seq,
+            dead: false,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn split(&mut self, child: usize, keep: usize) -> usize {
+        let parent = self.nodes[child].parent;
+        let head: Vec<u32> = self.nodes[child].seg[..keep].to_vec();
+        let tail: Vec<u32> = self.nodes[child].seg[keep..].to_vec();
+        let targets = self.nodes[child].targets.clone();
+        let created_seq = self.nodes[child].created_seq;
+        // Splitting conserves tokens: |head| + |tail| == |seg|.
+        let mid = if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            self.nodes.push(TNode {
+                seg: Vec::new(),
+                parent: ROOT,
+                children: BTreeMap::new(),
+                targets: BTreeMap::new(),
+                created_seq: 0,
+                dead: true,
+            });
+            self.nodes.len() - 1
+        };
+        self.nodes[mid] = TNode {
+            seg: head,
+            parent,
+            children: BTreeMap::new(),
+            targets,
+            created_seq,
+            dead: false,
+        };
+        let mid_first = self.nodes[mid].seg[0];
+        self.nodes[parent].children.insert(mid_first, mid);
+        let tail_first = tail[0];
+        self.nodes[mid].children.insert(tail_first, child);
+        let c = &mut self.nodes[child];
+        c.seg = tail;
+        c.parent = mid;
+        mid
+    }
+
+    fn remove_leaf(&mut self, idx: usize) {
+        debug_assert!(self.nodes[idx].children.is_empty());
+        let parent = self.nodes[idx].parent;
+        let first = self.nodes[idx].seg[0];
+        self.nodes[parent].children.remove(&first);
+        self.stored_tokens -= self.nodes[idx].seg.len();
+        let n = &mut self.nodes[idx];
+        n.dead = true;
+        n.seg = Vec::new();
+        n.targets = BTreeMap::new();
+        self.free.push(idx);
+    }
+
+    fn enforce_bound(&mut self) {
+        while self.stored_tokens > self.max_tokens {
+            // Oldest-created leaf goes first (paper: earliest inserted
+            // records evicted first).
+            let victim = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, n)| *i != ROOT && !n.dead && n.children.is_empty())
+                .min_by_key(|(_, n)| n.created_seq)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => self.remove_leaf(i),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let trie: RouteTrie<u32> = RouteTrie::new(1024);
+        assert!(trie.best_match(&[1, 2], |_| true).is_none());
+        assert!(trie.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2], 10u32);
+        trie.insert(&[1, 2, 3, 4], 20);
+        let m = trie.best_match(&[1, 2, 3, 4, 5], |_| true).unwrap();
+        assert_eq!((m.target, m.matched), (20, 4));
+        let m = trie.best_match(&[1, 2, 9], |_| true).unwrap();
+        assert_eq!(m.matched, 2);
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn no_prefix_match_returns_root_target() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3], 5u32);
+        // Unrelated prompt: matched = 0, but a target is still returned
+        // (any target that has ever served is a candidate at the root).
+        let m = trie.best_match(&[7, 8], |_| true).unwrap();
+        assert_eq!((m.target, m.matched), (5, 0));
+    }
+
+    #[test]
+    fn availability_filter_respected_with_early_termination() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3, 4], 1u32);
+        trie.insert(&[1, 2], 2);
+        // Deep target 1 unavailable: fall back to target 2 at depth 2.
+        let m = trie.best_match(&[1, 2, 3, 4], |t| *t == 2).unwrap();
+        assert_eq!((m.target, m.matched), (2, 2));
+        // Nothing available → None.
+        assert!(trie.best_match(&[1, 2, 3, 4], |_| false).is_none());
+    }
+
+    #[test]
+    fn subset_invariant_maintained() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3], 1u32);
+        trie.insert(&[1, 2, 4], 2);
+        trie.insert(&[1, 9], 3);
+        trie.insert(&[5, 5, 5], 1);
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn freshest_target_preferred_on_tie() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2], 1u32);
+        trie.insert(&[1, 2], 2);
+        // Both match fully; 2 was refreshed most recently.
+        let m = trie.best_match(&[1, 2], |_| true).unwrap();
+        assert_eq!(m.target, 2);
+        trie.insert(&[1, 2], 1);
+        let m = trie.best_match(&[1, 2], |_| true).unwrap();
+        assert_eq!(m.target, 1);
+    }
+
+    #[test]
+    fn matched_for_is_per_target() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3, 4], 1u32);
+        trie.insert(&[1, 2], 2);
+        assert_eq!(trie.matched_for(&[1, 2, 3, 4], 1), 4);
+        assert_eq!(trie.matched_for(&[1, 2, 3, 4], 2), 2);
+        assert_eq!(trie.matched_for(&[1, 2, 3, 4], 99), 0);
+    }
+
+    #[test]
+    fn bound_enforced_oldest_leaf_first() {
+        let mut trie = RouteTrie::new(8);
+        trie.insert(&[1, 2, 3, 4], 1u32); // oldest
+        trie.insert(&[5, 6, 7, 8], 2);
+        trie.check_invariants();
+        assert_eq!(trie.stored_tokens(), 8);
+        trie.insert(&[9, 10], 3); // pushes over: evict oldest leaf
+        trie.check_invariants();
+        assert!(trie.stored_tokens() <= 8);
+        let m = trie.best_match(&[1, 2, 3, 4], |t| *t == 1).unwrap();
+        assert_eq!(m.matched, 0, "oldest path evicted");
+        let m = trie.best_match(&[5, 6, 7, 8], |_| true).unwrap();
+        assert_eq!(m.matched, 4, "newer path kept");
+    }
+
+    #[test]
+    fn split_preserves_targets_and_tokens() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3, 4], 1u32);
+        let before = trie.stored_tokens();
+        trie.insert(&[1, 2, 9], 2); // forces split at depth 2
+        trie.check_invariants();
+        assert_eq!(trie.stored_tokens(), before + 1);
+        // Target 1 still matches its full path through the split node.
+        assert_eq!(trie.matched_for(&[1, 2, 3, 4], 1), 4);
+        assert_eq!(trie.matched_for(&[1, 2, 9], 2), 3);
+    }
+
+    #[test]
+    fn purge_target_removes_everywhere() {
+        let mut trie = RouteTrie::new(1024);
+        trie.insert(&[1, 2, 3], 1u32);
+        trie.insert(&[1, 2, 4], 2);
+        trie.purge_target(1);
+        trie.check_invariants();
+        assert_eq!(trie.matched_for(&[1, 2, 3], 1), 0);
+        // Target 2's path survives.
+        let m = trie.best_match(&[1, 2, 4], |_| true).unwrap();
+        assert_eq!((m.target, m.matched), (2, 3));
+        // Orphaned branch [1,2,3] is gone.
+        let m = trie.best_match(&[1, 2, 3], |_| true).unwrap();
+        assert_eq!(m.matched, 2);
+    }
+
+    #[test]
+    fn empty_prompt_insert_and_match() {
+        let mut trie = RouteTrie::new(64);
+        trie.insert(&[], 1u32);
+        let m = trie.best_match(&[], |_| true).unwrap();
+        assert_eq!((m.target, m.matched), (1, 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn invariants_under_random_inserts(
+                inserts in prop::collection::vec(
+                    (prop::collection::vec(0u32..6, 0..10), 0u8..4),
+                    1..60
+                ),
+                bound in 16usize..256,
+            ) {
+                let mut trie = RouteTrie::new(bound);
+                for (tokens, target) in &inserts {
+                    trie.insert(tokens, *target);
+                    trie.check_invariants();
+                }
+            }
+
+            #[test]
+            fn match_length_bounded_by_query(
+                inserts in prop::collection::vec(
+                    prop::collection::vec(0u32..4, 1..10),
+                    1..20
+                ),
+                query in prop::collection::vec(0u32..4, 0..12),
+            ) {
+                let mut trie = RouteTrie::new(1 << 16);
+                for (i, tokens) in inserts.iter().enumerate() {
+                    trie.insert(tokens, i as u32);
+                }
+                if let Some(m) = trie.best_match(&query, |_| true) {
+                    prop_assert!(m.matched <= query.len());
+                    // The chosen target's own match is at least as long as
+                    // reported (it may be longer only if another target won
+                    // the freshness tie at the same depth).
+                    prop_assert!(trie.matched_for(&query, m.target) >= m.matched);
+                }
+            }
+
+            #[test]
+            fn best_match_is_maximal(
+                inserts in prop::collection::vec(
+                    prop::collection::vec(0u32..3, 1..8),
+                    1..15
+                ),
+                query in prop::collection::vec(0u32..3, 1..10),
+            ) {
+                let mut trie = RouteTrie::new(1 << 16);
+                for (i, tokens) in inserts.iter().enumerate() {
+                    trie.insert(tokens, i as u32);
+                }
+                let m = trie.best_match(&query, |_| true).unwrap();
+                // No inserted target has a longer per-target match than the
+                // returned depth.
+                for i in 0..inserts.len() {
+                    prop_assert!(trie.matched_for(&query, i as u32) <= m.matched.max(
+                        trie.matched_for(&query, m.target)
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! # skywalker-live
+//!
+//! The live deployment mode: the same balancer and replica state machines
+//! the simulator runs, served over real TCP sockets with OS threads.
+//!
+//! The paper's prototype deploys balancers and SGLang replicas on cloud
+//! instances; this crate reproduces that topology on one machine:
+//!
+//! - [`ReplicaServer`] — a mock inference backend running the
+//!   continuous-batching replica against the wall clock (scaled by a
+//!   `time_scale` factor so tests stay fast while preserving latency
+//!   ratios).
+//! - [`BalancerServer`] — a [`skywalker_core::RegionalBalancer`] behind
+//!   an accept loop, with a 100 ms probe thread, replica connections,
+//!   and LB-to-LB peering for cross-region forwarding.
+//! - [`LiveClient`] — a blocking client measuring TTFT and end-to-end
+//!   latency over the wire.
+//!
+//! Everything binds `127.0.0.1`; "regions" differ only in the balancer
+//! configuration (the simulator is where WAN latency is modeled — here
+//! the point is exercising the real concurrency and the real protocol).
+
+mod balancer_server;
+mod client;
+mod replica_server;
+
+pub use balancer_server::BalancerServer;
+pub use client::{ClientError, LiveClient, LiveOutcome};
+pub use replica_server::ReplicaServer;
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use skywalker_core::{BalancerConfig, LbId, PolicyKind};
+    use skywalker_net::Region;
+    use skywalker_replica::{GpuProfile, ReplicaId, Request};
+
+    use super::*;
+
+    fn profile() -> GpuProfile {
+        GpuProfile::L4_LLAMA_8B
+    }
+
+    #[test]
+    fn end_to_end_through_balancer() {
+        let r0 = ReplicaServer::spawn(ReplicaId(0), profile(), 0.001).unwrap();
+        let r1 = ReplicaServer::spawn(ReplicaId(1), profile(), 0.001).unwrap();
+        let lb = BalancerServer::spawn(
+            LbId(0),
+            BalancerConfig::skywalker(Region::UsEast),
+            Duration::from_millis(10),
+        )
+        .unwrap();
+        lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+        lb.attach_replica(ReplicaId(1), r1.addr()).unwrap();
+
+        let mut client = LiveClient::connect(lb.addr()).unwrap();
+        let out = client
+            .run(&Request::new(1, "user-a", vec![5, 6, 7, 8], 6))
+            .unwrap();
+        assert_eq!(out.generated, 6);
+        assert!(out.ttft <= out.e2e);
+
+        lb.shutdown();
+        r0.shutdown();
+        r1.shutdown();
+    }
+
+    #[test]
+    fn prefix_affinity_over_the_wire() {
+        let r0 = ReplicaServer::spawn(ReplicaId(0), profile(), 0.001).unwrap();
+        let r1 = ReplicaServer::spawn(ReplicaId(1), profile(), 0.001).unwrap();
+        let lb = BalancerServer::spawn(
+            LbId(0),
+            BalancerConfig::skywalker(Region::UsEast),
+            Duration::from_millis(10),
+        )
+        .unwrap();
+        lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+        lb.attach_replica(ReplicaId(1), r1.addr()).unwrap();
+
+        let prompt: Vec<u32> = (0..256).collect();
+        let mut client = LiveClient::connect(lb.addr()).unwrap();
+        let cold = client
+            .run(&Request::new(10, "u", prompt.clone(), 2))
+            .unwrap();
+        assert_eq!(cold.cached_prompt_tokens, 0);
+        // The repeat must land on the same replica and hit its cache.
+        let warm = client
+            .run(&Request::new(11, "u", prompt.clone(), 2))
+            .unwrap();
+        assert!(
+            warm.cached_prompt_tokens >= 200,
+            "cached {} of {} tokens",
+            warm.cached_prompt_tokens,
+            prompt.len()
+        );
+
+        lb.shutdown();
+        r0.shutdown();
+        r1.shutdown();
+    }
+
+    #[test]
+    fn cross_balancer_forwarding() {
+        // LB0 (us-east) has NO replicas; LB1 (eu-west) has one. A request
+        // to LB0 must be forwarded and still complete.
+        let r0 = ReplicaServer::spawn(ReplicaId(0), profile(), 0.001).unwrap();
+        let lb0 = BalancerServer::spawn(
+            LbId(0),
+            BalancerConfig::skywalker(Region::UsEast),
+            Duration::from_millis(10),
+        )
+        .unwrap();
+        let lb1 = BalancerServer::spawn(
+            LbId(1),
+            BalancerConfig::skywalker(Region::EuWest),
+            Duration::from_millis(10),
+        )
+        .unwrap();
+        lb1.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+        lb0.connect_peer(LbId(1), Region::EuWest, lb1.addr()).unwrap();
+        lb1.connect_peer(LbId(0), Region::UsEast, lb0.addr()).unwrap();
+
+        // Wait for at least one probe round so LB0 learns LB1 is
+        // available.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let mut client = LiveClient::connect(lb0.addr()).unwrap();
+        let out = client
+            .run(&Request::new(42, "user-x", vec![1, 2, 3], 3))
+            .unwrap();
+        assert_eq!(out.generated, 3);
+        assert!(lb0.forwarded() >= 1, "request must have been forwarded");
+
+        lb0.shutdown();
+        lb1.shutdown();
+        r0.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let r0 = ReplicaServer::spawn(ReplicaId(0), profile(), 0.0005).unwrap();
+        let lb = BalancerServer::spawn(
+            LbId(0),
+            BalancerConfig::baseline(Region::UsEast, PolicyKind::LeastLoad),
+            Duration::from_millis(10),
+        )
+        .unwrap();
+        lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+        let addr = lb.addr();
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = LiveClient::connect(addr).unwrap();
+                    let out = c
+                        .run(&Request::new(100 + i, format!("u{i}"), vec![i as u32; 16], 4))
+                        .unwrap();
+                    assert_eq!(out.generated, 4);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        lb.shutdown();
+        r0.shutdown();
+    }
+}

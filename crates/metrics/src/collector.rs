@@ -1,0 +1,321 @@
+//! Per-request lifecycle tracking and run-level aggregation.
+//!
+//! Every experiment in the paper reports the same aggregates: service
+//! throughput (tokens per second), the TTFT distribution, the end-to-end
+//! latency distribution, and the KV-cache hit rate. [`RequestTracker`]
+//! collects the three lifecycle timestamps per request — arrival at the
+//! client, first output token, completion — plus token accounting, and
+//! reduces them to a [`RunReport`].
+
+use std::collections::HashMap;
+
+use skywalker_sim::SimTime;
+
+use crate::histogram::{Histogram, Summary};
+
+#[derive(Debug, Clone)]
+struct Record {
+    arrived: SimTime,
+    first_token: Option<SimTime>,
+    completed: Option<SimTime>,
+    prompt_tokens: u64,
+    cached_prompt_tokens: u64,
+    generated_tokens: u64,
+}
+
+/// The terminal state of one tracked request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Completed normally.
+    Completed,
+    /// Still in flight when the run ended.
+    InFlight,
+    /// Rejected or failed.
+    Failed,
+}
+
+/// Collects request lifecycle events during a run.
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_metrics::RequestTracker;
+/// use skywalker_sim::SimTime;
+///
+/// let mut t = RequestTracker::new();
+/// t.arrival(1, SimTime::from_millis(0), 512);
+/// t.first_token(1, SimTime::from_millis(300));
+/// t.completion(1, SimTime::from_millis(1300), 100, 256);
+/// let report = t.report(SimTime::from_secs(2));
+/// assert_eq!(report.completed, 1);
+/// assert!((report.ttft.p50 - 0.3).abs() < 1e-9);
+/// assert!((report.cache_hit_rate - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestTracker {
+    records: HashMap<u64, Record>,
+    failed: u64,
+}
+
+impl RequestTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a request issued at `at` with `prompt_tokens` prompt tokens.
+    /// Re-registering an id overwrites the previous record.
+    pub fn arrival(&mut self, id: u64, at: SimTime, prompt_tokens: u64) {
+        self.records.insert(
+            id,
+            Record {
+                arrived: at,
+                first_token: None,
+                completed: None,
+                prompt_tokens,
+                cached_prompt_tokens: 0,
+                generated_tokens: 0,
+            },
+        );
+    }
+
+    /// Records the first output token for `id`. Unknown ids and repeated
+    /// first tokens are ignored (the first observation wins).
+    pub fn first_token(&mut self, id: u64, at: SimTime) {
+        if let Some(r) = self.records.get_mut(&id) {
+            r.first_token.get_or_insert(at);
+        }
+    }
+
+    /// Records completion for `id` with the generated token count and how
+    /// many prompt tokens were served from the prefix cache.
+    pub fn completion(&mut self, id: u64, at: SimTime, generated: u64, cached_prompt: u64) {
+        if let Some(r) = self.records.get_mut(&id) {
+            if r.completed.is_none() {
+                r.completed = Some(at);
+                r.generated_tokens = generated;
+                r.cached_prompt_tokens = cached_prompt.min(r.prompt_tokens);
+            }
+        }
+    }
+
+    /// Records a rejected/failed request (it stops counting as in-flight).
+    pub fn failure(&mut self, id: u64) {
+        if self.records.remove(&id).is_some() {
+            self.failed += 1;
+        }
+    }
+
+    /// The outcome of a tracked request, or `None` if never registered.
+    pub fn outcome(&self, id: u64) -> Option<RequestOutcome> {
+        self.records.get(&id).map(|r| {
+            if r.completed.is_some() {
+                RequestOutcome::Completed
+            } else {
+                RequestOutcome::InFlight
+            }
+        })
+    }
+
+    /// Number of requests registered and not failed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been tracked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.failed == 0
+    }
+
+    /// Aggregates everything observed so far into a [`RunReport`].
+    ///
+    /// `run_end` bounds the measurement window for throughput: tokens of
+    /// completed requests divided by the window length. TTFT and end-to-end
+    /// distributions include only requests that reached the respective
+    /// lifecycle point.
+    pub fn report(&self, run_end: SimTime) -> RunReport {
+        let mut ttft = Histogram::new();
+        let mut e2e = Histogram::new();
+        let mut completed = 0u64;
+        let mut in_flight = 0u64;
+        let mut prompt_tokens = 0u64;
+        let mut cached_tokens = 0u64;
+        let mut generated_tokens = 0u64;
+        for r in self.records.values() {
+            if let Some(ft) = r.first_token {
+                ttft.record(ft.saturating_since(r.arrived).as_secs_f64());
+            }
+            match r.completed {
+                Some(done) => {
+                    completed += 1;
+                    e2e.record(done.saturating_since(r.arrived).as_secs_f64());
+                    prompt_tokens += r.prompt_tokens;
+                    cached_tokens += r.cached_prompt_tokens;
+                    generated_tokens += r.generated_tokens;
+                }
+                None => in_flight += 1,
+            }
+        }
+        let window = run_end.as_secs_f64();
+        let service_tokens = prompt_tokens + generated_tokens;
+        RunReport {
+            completed,
+            in_flight,
+            failed: self.failed,
+            prompt_tokens,
+            cached_prompt_tokens: cached_tokens,
+            generated_tokens,
+            throughput_tps: if window > 0.0 {
+                service_tokens as f64 / window
+            } else {
+                0.0
+            },
+            cache_hit_rate: if prompt_tokens > 0 {
+                cached_tokens as f64 / prompt_tokens as f64
+            } else {
+                0.0
+            },
+            ttft: {
+                let mut h = ttft;
+                h.summary()
+            },
+            e2e: {
+                let mut h = e2e;
+                h.summary()
+            },
+        }
+    }
+}
+
+/// Aggregated results of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Requests that completed inside the window.
+    pub completed: u64,
+    /// Requests still in flight at the end of the window.
+    pub in_flight: u64,
+    /// Requests rejected or failed.
+    pub failed: u64,
+    /// Total prompt tokens across completed requests.
+    pub prompt_tokens: u64,
+    /// Prompt tokens served from the prefix cache.
+    pub cached_prompt_tokens: u64,
+    /// Output tokens generated by completed requests.
+    pub generated_tokens: u64,
+    /// Service throughput: (prompt + generated) tokens per second of run
+    /// time, the paper's headline throughput metric.
+    pub throughput_tps: f64,
+    /// KV-cache hit rate: cached / total prompt tokens.
+    pub cache_hit_rate: f64,
+    /// Time-to-first-token distribution, in seconds.
+    pub ttft: Summary,
+    /// End-to-end latency distribution, in seconds.
+    pub e2e: Summary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn full_lifecycle_aggregates() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 100);
+        t.arrival(2, ms(0), 100);
+        t.first_token(1, ms(200));
+        t.first_token(2, ms(400));
+        t.completion(1, ms(1000), 50, 100);
+        t.completion(2, ms(2000), 150, 0);
+        let r = t.report(SimTime::from_secs(10));
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.in_flight, 0);
+        assert_eq!(r.prompt_tokens, 200);
+        assert_eq!(r.generated_tokens, 200);
+        assert!((r.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert!((r.throughput_tps - 40.0).abs() < 1e-9);
+        assert!((r.ttft.p50 - 0.3).abs() < 1e-9);
+        assert!((r.e2e.mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_flight_requests_counted_but_not_aggregated() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 100);
+        t.first_token(1, ms(100));
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.in_flight, 1);
+        assert_eq!(r.prompt_tokens, 0);
+        // TTFT still counted: the request produced a first token.
+        assert_eq!(r.ttft.count, 1);
+        assert_eq!(r.e2e.count, 0);
+    }
+
+    #[test]
+    fn unknown_ids_ignored() {
+        let mut t = RequestTracker::new();
+        t.first_token(99, ms(1));
+        t.completion(99, ms(2), 1, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_events_first_wins() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.first_token(1, ms(100));
+        t.first_token(1, ms(999));
+        t.completion(1, ms(500), 5, 2);
+        t.completion(1, ms(900), 50, 9);
+        let r = t.report(SimTime::from_secs(1));
+        assert!((r.ttft.p50 - 0.1).abs() < 1e-9);
+        assert!((r.e2e.p50 - 0.5).abs() < 1e-9);
+        assert_eq!(r.generated_tokens, 5);
+    }
+
+    #[test]
+    fn cached_tokens_clamped_to_prompt() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.completion(1, ms(10), 1, 999);
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.cached_prompt_tokens, 10);
+        assert!((r.cache_hit_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_tracked() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.failure(1);
+        t.failure(42); // unknown id: no effect
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.in_flight, 0);
+        assert_eq!(t.outcome(1), None);
+    }
+
+    #[test]
+    fn outcomes_reported() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        assert_eq!(t.outcome(1), Some(RequestOutcome::InFlight));
+        t.completion(1, ms(5), 1, 0);
+        assert_eq!(t.outcome(1), Some(RequestOutcome::Completed));
+        assert_eq!(t.outcome(2), None);
+    }
+
+    #[test]
+    fn zero_window_throughput_is_zero() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.completion(1, ms(0), 1, 0);
+        let r = t.report(SimTime::ZERO);
+        assert_eq!(r.throughput_tps, 0.0);
+    }
+}

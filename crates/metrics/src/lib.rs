@@ -1,0 +1,25 @@
+//! # skywalker-metrics
+//!
+//! Client-side measurement for LLM serving experiments.
+//!
+//! The paper reports three families of numbers for every system it compares
+//! (§5): service throughput in tokens per second, Time-to-First-Token
+//! (TTFT), and end-to-end request latency, the latter two as box plots
+//! (P10/25/50/75/90 plus the mean). It additionally tracks KV-cache hit
+//! rates and per-replica memory-utilization traces (Fig. 4b). This crate
+//! provides those measurements:
+//!
+//! - [`Histogram`]: exact-percentile sample collection with the paper's
+//!   box-plot summary ([`Summary`]).
+//! - [`RequestTracker`]: per-request lifecycle records (arrival, first
+//!   token, completion) aggregated into a [`RunReport`].
+//! - [`TimeSeries`]: timestamped gauge traces, e.g. KV-cache utilization
+//!   per replica over time, with peak-gap statistics.
+
+mod collector;
+mod histogram;
+mod timeseries;
+
+pub use collector::{RequestOutcome, RequestTracker, RunReport};
+pub use histogram::{Histogram, Summary};
+pub use timeseries::{peak_gap, TimeSeries};

@@ -1,0 +1,199 @@
+//! Timestamped gauge traces.
+//!
+//! Figure 4b of the paper plots per-replica KV-cache memory utilization over
+//! time and reports the peak gap between replicas (2.64× under round robin).
+//! [`TimeSeries`] records `(time, value)` points for one gauge; free
+//! functions compare traces across replicas.
+
+use skywalker_sim::SimTime;
+
+/// A time-ordered sequence of gauge observations.
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_metrics::TimeSeries;
+/// use skywalker_sim::SimTime;
+///
+/// let mut ts = TimeSeries::new("replica-0/kv");
+/// ts.record(SimTime::from_secs(1), 0.4);
+/// ts.record(SimTime::from_secs(2), 0.9);
+/// assert_eq!(ts.peak(), 0.9);
+/// assert_eq!(ts.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation. Observations must arrive in non-decreasing
+    /// time order (the simulator guarantees this); out-of-order points are
+    /// dropped in release builds and panic in debug builds.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some((last, _)) = self.points.last() {
+            debug_assert!(*last <= at, "time series {} went backwards", self.name);
+            if *last > at {
+                return;
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Read-only view of the points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The largest observed value, or 0 for an empty series.
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average value over the observation window (each value
+    /// holds until the next observation). Zero for fewer than two points.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut dur = 0.0;
+        for pair in self.points.windows(2) {
+            let (t0, v) = pair[0];
+            let (t1, _) = pair[1];
+            let dt = t1.since(t0).as_secs_f64();
+            acc += v * dt;
+            dur += dt;
+        }
+        if dur == 0.0 {
+            0.0
+        } else {
+            acc / dur
+        }
+    }
+
+    /// The value in effect at `t` (last observation at or before `t`), or
+    /// `None` before the first observation.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+}
+
+/// The ratio between the highest and lowest peak across a set of series —
+/// the paper's "peak memory usage difference between replicas reaches
+/// 2.64×" metric (Fig. 4b). Returns 1.0 for fewer than two series or when
+/// the smallest peak is zero.
+pub fn peak_gap(series: &[&TimeSeries]) -> f64 {
+    let peaks: Vec<f64> = series.iter().map(|s| s.peak()).collect();
+    let max = peaks.iter().copied().fold(f64::MIN, f64::max);
+    let min = peaks.iter().copied().fold(f64::MAX, f64::min);
+    if peaks.len() < 2 || min <= 0.0 {
+        1.0
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_reports_peak() {
+        let mut ts = TimeSeries::new("x");
+        assert!(ts.is_empty());
+        assert_eq!(ts.peak(), 0.0);
+        ts.record(t(0), 0.2);
+        ts.record(t(1), 0.8);
+        ts.record(t(2), 0.5);
+        assert_eq!(ts.peak(), 0.8);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.name(), "x");
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0), 1.0); // holds for 1 s
+        ts.record(t(1), 3.0); // holds for 3 s
+        ts.record(t(4), 0.0); // terminal marker
+        let m = ts.time_weighted_mean();
+        assert!((m - (1.0 + 9.0) / 4.0).abs() < 1e-9, "mean {m}");
+    }
+
+    #[test]
+    fn time_weighted_mean_degenerate() {
+        let mut ts = TimeSeries::new("x");
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        ts.record(t(1), 5.0);
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        // Two points at the same instant: zero duration.
+        ts.record(t(1), 6.0);
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(10), 1.0);
+        ts.record(t(20), 2.0);
+        assert_eq!(ts.value_at(t(5)), None);
+        assert_eq!(ts.value_at(t(10)), Some(1.0));
+        assert_eq!(ts.value_at(t(15)), Some(1.0));
+        assert_eq!(ts.value_at(t(20)), Some(2.0));
+        assert_eq!(ts.value_at(t(99)), Some(2.0));
+    }
+
+    #[test]
+    fn peak_gap_matches_definition() {
+        let mut a = TimeSeries::new("a");
+        let mut b = TimeSeries::new("b");
+        a.record(t(0), 0.25);
+        b.record(t(0), 0.66);
+        let gap = peak_gap(&[&a, &b]);
+        assert!((gap - 0.66 / 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_gap_degenerate_cases() {
+        let a = TimeSeries::new("a");
+        assert_eq!(peak_gap(&[]), 1.0);
+        assert_eq!(peak_gap(&[&a]), 1.0);
+        let mut b = TimeSeries::new("b");
+        b.record(t(0), 0.5);
+        // One empty series → min peak 0 → ratio undefined → 1.0.
+        assert_eq!(peak_gap(&[&a, &b]), 1.0);
+    }
+}

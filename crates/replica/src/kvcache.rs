@@ -1,0 +1,902 @@
+//! Paged radix-tree KV cache with reference counting and LRU eviction.
+//!
+//! This models the prefix cache of a modern inference engine (SGLang's
+//! RadixAttention, vLLM's prefix caching): KV blocks for a token sequence
+//! are stored in a radix tree keyed by token ids, so requests sharing a
+//! prompt prefix share the corresponding KV memory and skip its prefill.
+//!
+//! Memory accounting is paged: each tree node charges for its token
+//! segment rounded up to whole blocks ([`KvConfig::block_tokens`]), which
+//! reproduces the internal fragmentation of paged attention. Running
+//! requests hold [`Lease`]s that pin their path in the tree (reference
+//! counts); unpinned subtrees are evicted LRU-leaf-first when space is
+//! needed.
+//!
+//! Insertion is pin-first: the existing prefix is pinned *before* any
+//! eviction runs, so making room for a request can never evict the very
+//! prefix it is about to reuse. The cache never evicts referenced state
+//! and never exceeds its token capacity — both are checked invariants,
+//! exercised by the property tests at the bottom of this file.
+
+use std::collections::BTreeMap;
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Total KV capacity, in tokens.
+    ///
+    /// The default L4 profile derives ≈ 49 k tokens from 24 GB of VRAM
+    /// minus 16 GB of Llama-3.1-8B weights at ≈ 128 KiB KV per token.
+    pub capacity_tokens: u64,
+    /// Tokens per KV block (page). SGLang and vLLM default to 16.
+    pub block_tokens: u32,
+}
+
+impl KvConfig {
+    /// The L4 / Llama-3.1-8B geometry used throughout the evaluation.
+    pub const L4_LLAMA8B: KvConfig = KvConfig {
+        capacity_tokens: 49_152,
+        block_tokens: 16,
+    };
+
+    /// A tiny geometry for tests (block size 4).
+    pub const fn tiny(capacity_tokens: u64) -> KvConfig {
+        KvConfig {
+            capacity_tokens,
+            block_tokens: 4,
+        }
+    }
+
+    fn charge(&self, tokens: usize) -> u64 {
+        let b = u64::from(self.block_tokens.max(1));
+        (tokens as u64).div_ceil(b) * b
+    }
+}
+
+/// Errors from cache operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough unpinned space: `needed` tokens requested, only
+    /// `reclaimable` could be evicted.
+    InsufficientCapacity {
+        /// Tokens of new space required.
+        needed: u64,
+        /// Tokens that eviction could currently reclaim.
+        reclaimable: u64,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::InsufficientCapacity {
+                needed,
+                reclaimable,
+            } => write!(
+                f,
+                "kv cache full: need {needed} tokens, only {reclaimable} reclaimable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A pinned path in the cache, held by one running request.
+///
+/// Leases are move-only tickets: they must be returned via
+/// [`PrefixCache::release`] (or [`PrefixCache::complete`]).
+#[derive(Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Arena index of the deepest node on the pinned path.
+    node: usize,
+    /// Total tokens pinned (root to `node`).
+    tokens: u64,
+}
+
+impl Lease {
+    /// Total pinned tokens.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Token segment on the edge from the parent.
+    seg: Vec<u32>,
+    parent: usize,
+    /// Children keyed by the first token of their segment.
+    children: BTreeMap<u32, usize>,
+    /// Number of leases whose path passes through this node.
+    refs: u32,
+    /// LRU clock value of the last traversal.
+    last_used: u64,
+    /// True if the slot is on the free list.
+    dead: bool,
+}
+
+const ROOT: usize = 0;
+
+/// Result of the pin-first walk: how far the existing tree matches, what
+/// got pinned, and whether a node must be split at the divergence point.
+struct WalkPin {
+    /// Deepest fully-matched node.
+    node: usize,
+    /// Tokens matched (including a partial match into `pending_split`).
+    matched: usize,
+    /// `(child, keep)`: `child`'s segment matches for `keep` tokens only.
+    pending_split: Option<(usize, usize)>,
+    /// Every node whose refcount this walk incremented.
+    pinned: Vec<usize>,
+}
+
+/// The radix-tree prefix cache.
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_replica::{KvConfig, PrefixCache};
+///
+/// let mut cache = PrefixCache::new(KvConfig::tiny(1024));
+/// let (lease_a, cached) = cache.acquire(&[1, 2, 3, 4]).unwrap();
+/// assert_eq!(cached, 0); // cold
+/// let (lease_b, cached) = cache.acquire(&[1, 2, 3, 4, 5, 6]).unwrap();
+/// assert_eq!(cached, 4); // shares the [1,2,3,4] prefix
+/// cache.release(lease_a);
+/// cache.release(lease_b);
+/// ```
+#[derive(Debug)]
+pub struct PrefixCache {
+    cfg: KvConfig,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    used_tokens: u64,
+    clock: u64,
+    /// Cumulative counters for hit-rate reporting.
+    total_prompt_tokens: u64,
+    total_cached_tokens: u64,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache.
+    pub fn new(cfg: KvConfig) -> Self {
+        PrefixCache {
+            cfg,
+            nodes: vec![Node {
+                seg: Vec::new(),
+                parent: ROOT,
+                children: BTreeMap::new(),
+                refs: 0,
+                last_used: 0,
+                dead: false,
+            }],
+            free: Vec::new(),
+            used_tokens: 0,
+            clock: 0,
+            total_prompt_tokens: 0,
+            total_cached_tokens: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> KvConfig {
+        self.cfg
+    }
+
+    /// Tokens currently charged against capacity (block-rounded).
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.cfg.capacity_tokens == 0 {
+            return 1.0;
+        }
+        self.used_tokens as f64 / self.cfg.capacity_tokens as f64
+    }
+
+    /// Cumulative prefix hit rate over all `acquire` calls.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_prompt_tokens == 0 {
+            0.0
+        } else {
+            self.total_cached_tokens as f64 / self.total_prompt_tokens as f64
+        }
+    }
+
+    /// Longest cached prefix of `tokens`, in tokens, without mutating
+    /// LRU/ref state. This is the probe routers use to estimate hit ratios.
+    pub fn matched_tokens(&self, tokens: &[u32]) -> u64 {
+        let mut node = ROOT;
+        let mut matched = 0usize;
+        while matched < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[matched]) else {
+                break;
+            };
+            let seg = &self.nodes[child].seg;
+            let common = seg
+                .iter()
+                .zip(&tokens[matched..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            matched += common;
+            if common < seg.len() {
+                break;
+            }
+            node = child;
+        }
+        matched as u64
+    }
+
+    /// Tokens reclaimable right now by evicting unpinned subtrees.
+    pub fn reclaimable_tokens(&self) -> u64 {
+        // A node is reclaimable iff no lease passes through it; whole
+        // unpinned subtrees drain leaf-first, so counting every unpinned
+        // node is exact.
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs == 0)
+            .map(|(_, n)| self.cfg.charge(n.seg.len()))
+            .sum()
+    }
+
+    /// Inserts `tokens` (a full prompt) and pins its path, evicting
+    /// unpinned entries if needed. Returns the lease and how many tokens
+    /// were already cached (the prefix hit).
+    ///
+    /// On [`KvError::InsufficientCapacity`] no state changes (beyond
+    /// harmless eviction of unpinned entries).
+    pub fn acquire(&mut self, tokens: &[u32]) -> Result<(Lease, u64), KvError> {
+        self.touch(ROOT);
+        self.nodes[ROOT].refs += 1;
+        let wp = self.walk_pin(ROOT, tokens);
+        let cached = wp.matched as u64;
+        match self.make_room(&wp, tokens) {
+            Ok(()) => {
+                let leaf = self.apply(wp, tokens);
+                self.total_prompt_tokens += tokens.len() as u64;
+                self.total_cached_tokens += cached;
+                Ok((
+                    Lease {
+                        node: leaf,
+                        tokens: tokens.len() as u64,
+                    },
+                    cached,
+                ))
+            }
+            Err(e) => {
+                self.unpin(&wp.pinned);
+                self.nodes[ROOT].refs -= 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Extends a lease with generated tokens (making them shareable by
+    /// future requests), best-effort: if capacity cannot be freed the lease
+    /// is returned unchanged and the tokens are simply not cached.
+    pub fn extend(&mut self, lease: Lease, generated: &[u32]) -> Lease {
+        if generated.is_empty() {
+            return lease;
+        }
+        let wp = self.walk_pin(lease.node, generated);
+        match self.make_room(&wp, generated) {
+            Ok(()) => {
+                let leaf = self.apply(wp, generated);
+                Lease {
+                    node: leaf,
+                    tokens: lease.tokens + generated.len() as u64,
+                }
+            }
+            Err(_) => {
+                self.unpin(&wp.pinned);
+                lease
+            }
+        }
+    }
+
+    /// Releases a lease: unpins its path. The data stays cached for future
+    /// hits until evicted.
+    pub fn release(&mut self, lease: Lease) {
+        let mut node = lease.node;
+        loop {
+            let n = &mut self.nodes[node];
+            debug_assert!(n.refs > 0, "release without matching acquire");
+            n.refs = n.refs.saturating_sub(1);
+            if node == ROOT {
+                break;
+            }
+            node = n.parent;
+        }
+    }
+
+    /// Convenience for request completion: extend with the generated
+    /// tokens, then release.
+    pub fn complete(&mut self, lease: Lease, generated: &[u32]) {
+        let extended = self.extend(lease, generated);
+        self.release(extended);
+    }
+
+    /// Drops all unpinned cache state (e.g. on simulated replica restart).
+    pub fn clear_unpinned(&mut self) {
+        while let Some(victim) = self.lru_evictable_leaf() {
+            self.evict(victim);
+        }
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut used = 0u64;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.dead || i == ROOT {
+                continue;
+            }
+            used += self.cfg.charge(n.seg.len());
+            assert!(!n.seg.is_empty(), "non-root node with empty segment");
+            let parent = &self.nodes[n.parent];
+            assert!(!parent.dead, "live node under dead parent");
+            assert!(
+                parent.refs >= n.refs,
+                "child refs exceed parent refs ({} > {})",
+                n.refs,
+                parent.refs
+            );
+            assert_eq!(
+                parent.children.get(&n.seg[0]),
+                Some(&i),
+                "parent/child link broken"
+            );
+        }
+        assert_eq!(used, self.used_tokens, "used-token accounting drifted");
+        assert!(
+            self.used_tokens <= self.cfg.capacity_tokens,
+            "capacity exceeded: {} > {}",
+            self.used_tokens,
+            self.cfg.capacity_tokens
+        );
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn touch(&mut self, node: usize) {
+        self.clock += 1;
+        self.nodes[node].last_used = self.clock;
+    }
+
+    /// Descends from `anchor` matching `tokens`, pinning (ref +1, LRU
+    /// touch) every node it matches so subsequent eviction cannot remove
+    /// the prefix. A partial match into a child pins that child and stops.
+    fn walk_pin(&mut self, anchor: usize, tokens: &[u32]) -> WalkPin {
+        let mut node = anchor;
+        let mut pos = 0usize;
+        let mut pinned = Vec::new();
+        let mut pending_split = None;
+        while pos < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
+                break;
+            };
+            let common = self.nodes[child]
+                .seg
+                .iter()
+                .zip(&tokens[pos..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            debug_assert!(common >= 1, "child keyed by first token must match it");
+            self.nodes[child].refs += 1;
+            self.touch(child);
+            pinned.push(child);
+            pos += common;
+            if common < self.nodes[child].seg.len() {
+                pending_split = Some((child, common));
+                break;
+            }
+            node = child;
+        }
+        WalkPin {
+            node,
+            matched: pos,
+            pending_split,
+            pinned,
+        }
+    }
+
+    fn unpin(&mut self, pinned: &[usize]) {
+        for &i in pinned {
+            self.nodes[i].refs -= 1;
+        }
+    }
+
+    /// Exact extra charge `apply` will incur, then frees that much space.
+    /// The walked path is pinned, so eviction cannot invalidate the plan.
+    fn make_room(&mut self, wp: &WalkPin, tokens: &[u32]) -> Result<(), KvError> {
+        let mut extra = 0u64;
+        if let Some((child, keep)) = wp.pending_split {
+            let len = self.nodes[child].seg.len();
+            extra += self.cfg.charge(keep) + self.cfg.charge(len - keep)
+                - self.cfg.charge(len);
+        }
+        extra += self.cfg.charge(tokens.len() - wp.matched);
+        self.ensure_free(extra)
+    }
+
+    /// Evicts LRU unpinned leaves until `needed` tokens are free.
+    fn ensure_free(&mut self, needed: u64) -> Result<(), KvError> {
+        if needed > self.cfg.capacity_tokens {
+            return Err(KvError::InsufficientCapacity {
+                needed,
+                reclaimable: self.reclaimable_tokens(),
+            });
+        }
+        while self.cfg.capacity_tokens - self.used_tokens < needed {
+            let Some(victim) = self.lru_evictable_leaf() else {
+                return Err(KvError::InsufficientCapacity {
+                    needed,
+                    reclaimable: 0,
+                });
+            };
+            self.evict(victim);
+        }
+        Ok(())
+    }
+
+    /// Materializes the plan from [`Self::walk_pin`]: performs the pending
+    /// split (transferring this walk's pin from the split child to the new
+    /// intermediate node) and allocates one fresh pinned leaf for the
+    /// unmatched suffix. Returns the deepest node of the final path.
+    fn apply(&mut self, wp: WalkPin, tokens: &[u32]) -> usize {
+        let mut node = wp.node;
+        if let Some((child, keep)) = wp.pending_split {
+            let mid = self.split(child, keep);
+            // `mid` inherited `child`'s refs, which include this walk's
+            // pin; the lease path runs through `mid`, not `child`.
+            self.nodes[child].refs -= 1;
+            node = mid;
+        }
+        if wp.matched < tokens.len() {
+            let seg = tokens[wp.matched..].to_vec();
+            let leaf = self.alloc_node(seg, node, 1);
+            let first = self.nodes[leaf].seg[0];
+            self.nodes[node].children.insert(first, leaf);
+            node = leaf;
+        }
+        node
+    }
+
+    fn lru_evictable_leaf(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs == 0 && n.children.is_empty())
+            .min_by_key(|(_, n)| n.last_used)
+            .map(|(i, _)| i)
+    }
+
+    fn evict(&mut self, idx: usize) {
+        debug_assert_ne!(idx, ROOT);
+        debug_assert_eq!(self.nodes[idx].refs, 0);
+        debug_assert!(self.nodes[idx].children.is_empty());
+        let parent = self.nodes[idx].parent;
+        let first = self.nodes[idx].seg[0];
+        self.nodes[parent].children.remove(&first);
+        self.used_tokens -= self.cfg.charge(self.nodes[idx].seg.len());
+        let n = &mut self.nodes[idx];
+        n.dead = true;
+        n.seg = Vec::new();
+        n.children = BTreeMap::new();
+        self.free.push(idx);
+    }
+
+    fn alloc_node(&mut self, seg: Vec<u32>, parent: usize, refs: u32) -> usize {
+        self.used_tokens += self.cfg.charge(seg.len());
+        self.clock += 1;
+        let node = Node {
+            seg,
+            parent,
+            children: BTreeMap::new(),
+            refs,
+            last_used: self.clock,
+            dead: false,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Splits `child` so that exactly `keep` tokens of its segment move to
+    /// a new intermediate node between `child`'s parent and `child`;
+    /// returns the intermediate node. Refs and LRU state are inherited.
+    fn split(&mut self, child: usize, keep: usize) -> usize {
+        debug_assert!(keep > 0 && keep < self.nodes[child].seg.len());
+        let parent = self.nodes[child].parent;
+        let head: Vec<u32> = self.nodes[child].seg[..keep].to_vec();
+        let tail: Vec<u32> = self.nodes[child].seg[keep..].to_vec();
+        let refs = self.nodes[child].refs;
+        let last_used = self.nodes[child].last_used;
+
+        // One node of length L becomes two of keep and L-keep; account for
+        // the block-rounding delta.
+        let old_charge = self.cfg.charge(self.nodes[child].seg.len());
+        let new_charge = self.cfg.charge(keep) + self.cfg.charge(tail.len());
+        self.used_tokens = self.used_tokens - old_charge + new_charge;
+
+        let mid = if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            self.nodes.push(Node {
+                seg: Vec::new(),
+                parent: ROOT,
+                children: BTreeMap::new(),
+                refs: 0,
+                last_used: 0,
+                dead: true,
+            });
+            self.nodes.len() - 1
+        };
+        self.nodes[mid] = Node {
+            seg: head,
+            parent,
+            children: BTreeMap::new(),
+            refs,
+            last_used,
+            dead: false,
+        };
+        let mid_first = self.nodes[mid].seg[0];
+        self.nodes[parent].children.insert(mid_first, mid);
+        let tail_first = tail[0];
+        self.nodes[mid].children.insert(tail_first, child);
+        let c = &mut self.nodes[child];
+        c.seg = tail;
+        c.parent = mid;
+        mid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: u64) -> PrefixCache {
+        PrefixCache::new(KvConfig::tiny(cap))
+    }
+
+    #[test]
+    fn cold_acquire_charges_block_rounded() {
+        let mut c = cache(1024);
+        let (lease, cached) = c.acquire(&[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(cached, 0);
+        assert_eq!(lease.tokens(), 5);
+        // 5 tokens at block 4 → charged 8.
+        assert_eq!(c.used_tokens(), 8);
+        c.check_invariants();
+        c.release(lease);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn shared_prefix_hits() {
+        let mut c = cache(1024);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        let (b, cached) = c.acquire(&[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(cached, 4);
+        let (d, cached2) = c.acquire(&[1, 2, 9]).unwrap();
+        assert_eq!(cached2, 2, "partial segment match splits the node");
+        c.check_invariants();
+        for l in [a, b, d] {
+            c.release(l);
+        }
+        c.check_invariants();
+        assert!((c.hit_rate() - 6.0 / 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matched_tokens_is_pure() {
+        let mut c = cache(1024);
+        let (l, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        let used = c.used_tokens();
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4, 5]), 4);
+        assert_eq!(c.matched_tokens(&[1, 2]), 2);
+        assert_eq!(c.matched_tokens(&[9]), 0);
+        assert_eq!(c.matched_tokens(&[]), 0);
+        assert_eq!(c.used_tokens(), used);
+        c.release(l);
+    }
+
+    #[test]
+    fn eviction_frees_unpinned_lru() {
+        let mut c = cache(16); // 4 blocks of 4
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        c.release(a);
+        let (b, _) = c.acquire(&[10, 11, 12, 13]).unwrap();
+        c.release(b);
+        assert_eq!(c.used_tokens(), 8);
+        // A 12-token acquire must evict the LRU entry to fit (8 free + 4
+        // reclaimed), leaving the MRU entry resident.
+        let (d, cached) = c.acquire(&[20; 12]).unwrap();
+        assert_eq!(cached, 0);
+        assert_eq!(c.used_tokens(), 16);
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 0, "LRU entry evicted");
+        assert_eq!(c.matched_tokens(&[10, 11, 12, 13]), 4, "MRU entry kept");
+        c.check_invariants();
+        c.release(d);
+    }
+
+    #[test]
+    fn pinned_entries_never_evicted() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        let err = c.acquire(&[5, 6, 7, 8, 9]).unwrap_err();
+        match err {
+            KvError::InsufficientCapacity { needed, .. } => assert_eq!(needed, 8),
+        }
+        // The pinned entry survived the failed acquire.
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4);
+        c.check_invariants();
+        c.release(a);
+        // Now it can be evicted.
+        let (b, _) = c.acquire(&[5, 6, 7, 8, 9]).unwrap();
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 0);
+        c.release(b);
+    }
+
+    #[test]
+    fn failed_acquire_leaves_no_pins() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        // Fails: needs 8 fresh tokens but only 4 free, nothing evictable.
+        assert!(c.acquire(&[9, 10, 11, 12, 13, 14, 15, 16]).is_err());
+        c.release(a);
+        // If the failed acquire leaked a pin, this eviction would fail.
+        let (b, _) = c.acquire(&[9, 9, 9, 9, 9, 9, 9, 9]).unwrap();
+        assert_eq!(c.used_tokens(), 8);
+        c.release(b);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn shared_prefix_makes_otherwise_oversized_acquire_fit() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        // 8 tokens would not fit cold, but 4 of them are the shared
+        // (pinned) prefix, so only 4 fresh tokens are charged.
+        let (b, cached) = c.acquire(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(cached, 4);
+        assert_eq!(c.used_tokens(), 8);
+        c.release(a);
+        c.release(b);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn make_room_never_evicts_own_prefix() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        c.release(a);
+        let (b, _) = c.acquire(&[9, 9, 9, 9]).unwrap();
+        c.release(b);
+        // Needs 4 free for the suffix; must evict [9,9,9,9], not the
+        // [1,2,3,4] prefix it is extending.
+        let (d, cached) = c.acquire(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(cached, 4);
+        assert_eq!(c.matched_tokens(&[9, 9, 9, 9]), 0, "other entry evicted");
+        c.release(d);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        c.release(a);
+        let (b, _) = c.acquire(&[10, 11, 12, 13]).unwrap();
+        c.release(b);
+        // Touch the first entry to make it most-recently used.
+        let (a2, cached) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(cached, 4);
+        c.release(a2);
+        // Inserting 4 more tokens evicts the LRU entry: [10..13].
+        let (d, _) = c.acquire(&[20, 21, 22, 23]).unwrap();
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4, "MRU entry kept");
+        assert_eq!(c.matched_tokens(&[10, 11, 12, 13]), 0, "LRU entry gone");
+        c.release(d);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn extend_appends_and_stays_shareable() {
+        let mut c = cache(1024);
+        let (l, _) = c.acquire(&[1, 2, 3]).unwrap();
+        let l = c.extend(l, &[4, 5]);
+        assert_eq!(l.tokens(), 5);
+        c.release(l);
+        // A follow-up turn including the generated output hits fully.
+        let (m, cached) = c.acquire(&[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(cached, 5);
+        c.release(m);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn extend_when_full_is_lossless_noop() {
+        let mut c = cache(8);
+        let (l, _) = c.acquire(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let l2 = c.extend(l, &[9, 10]);
+        assert_eq!(l2.tokens(), 8, "extension dropped, lease intact");
+        c.release(l2);
+        c.check_invariants();
+        // No pins leaked by the failed extension.
+        assert_eq!(c.reclaimable_tokens(), c.used_tokens());
+    }
+
+    #[test]
+    fn complete_extends_then_releases() {
+        let mut c = cache(1024);
+        let (l, _) = c.acquire(&[1, 2]).unwrap();
+        c.complete(l, &[3, 4]);
+        c.check_invariants();
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4);
+        // Everything is unpinned now.
+        assert_eq!(c.reclaimable_tokens(), c.used_tokens());
+    }
+
+    #[test]
+    fn identical_requests_share_everything() {
+        let mut c = cache(64);
+        let (a, c1) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        let (b, c2) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(c1, 0);
+        assert_eq!(c2, 4);
+        assert_eq!(c.used_tokens(), 4);
+        c.release(a);
+        // Still pinned by b: a 64-token insert cannot evict it.
+        assert!(c.acquire(&[9; 64]).is_err());
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4);
+        c.release(b);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn clear_unpinned_drops_only_unpinned() {
+        let mut c = cache(1024);
+        let (a, _) = c.acquire(&[1, 2, 3]).unwrap();
+        let (b, _) = c.acquire(&[10, 11]).unwrap();
+        c.release(b);
+        c.clear_unpinned();
+        assert_eq!(c.matched_tokens(&[1, 2, 3]), 3);
+        assert_eq!(c.matched_tokens(&[10, 11]), 0);
+        c.release(a);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c = cache(0);
+        assert!(c.acquire(&[1]).is_err());
+        assert_eq!(c.utilization(), 1.0);
+    }
+
+    #[test]
+    fn empty_prompt_acquire() {
+        let mut c = cache(64);
+        let (l, cached) = c.acquire(&[]).unwrap();
+        assert_eq!(cached, 0);
+        assert_eq!(l.tokens(), 0);
+        c.release(l);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = KvError::InsufficientCapacity {
+            needed: 10,
+            reclaimable: 3,
+        };
+        assert!(format!("{e}").contains("10"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random op sequence against a small cache, checking invariants
+        /// after every operation.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Acquire(Vec<u32>),
+            ReleaseOldest,
+            CompleteOldest(Vec<u32>),
+            Clear,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                prop::collection::vec(0u32..8, 0..12).prop_map(Op::Acquire),
+                Just(Op::ReleaseOldest),
+                prop::collection::vec(0u32..8, 0..6).prop_map(Op::CompleteOldest),
+                Just(Op::Clear),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn invariants_hold_under_random_ops(
+                ops in prop::collection::vec(op_strategy(), 1..60),
+                cap in 8u64..128,
+            ) {
+                let mut c = PrefixCache::new(KvConfig::tiny(cap));
+                let mut leases: Vec<Lease> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Acquire(toks) => {
+                            if let Ok((l, cached)) = c.acquire(&toks) {
+                                prop_assert!(cached <= toks.len() as u64);
+                                leases.push(l);
+                            }
+                        }
+                        Op::ReleaseOldest => {
+                            if !leases.is_empty() {
+                                c.release(leases.remove(0));
+                            }
+                        }
+                        Op::CompleteOldest(gen_toks) => {
+                            if !leases.is_empty() {
+                                c.complete(leases.remove(0), &gen_toks);
+                            }
+                        }
+                        Op::Clear => c.clear_unpinned(),
+                    }
+                    c.check_invariants();
+                }
+                for l in leases {
+                    c.release(l);
+                }
+                c.check_invariants();
+                // After releasing everything, the whole cache is reclaimable.
+                prop_assert_eq!(c.reclaimable_tokens(), c.used_tokens());
+            }
+
+            #[test]
+            fn matched_never_exceeds_query_or_mutates(
+                a in prop::collection::vec(0u32..6, 0..16),
+                b in prop::collection::vec(0u32..6, 0..16),
+            ) {
+                let mut c = PrefixCache::new(KvConfig::tiny(4096));
+                let (l, _) = c.acquire(&a).unwrap();
+                let used = c.used_tokens();
+                let m = c.matched_tokens(&b);
+                prop_assert!(m <= b.len() as u64);
+                prop_assert_eq!(used, c.used_tokens());
+                // Common prefix of a and b is a lower bound on the match.
+                let common = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+                prop_assert!(m >= common as u64);
+                c.release(l);
+            }
+
+            #[test]
+            fn hit_rate_bounded(
+                prompts in prop::collection::vec(
+                    prop::collection::vec(0u32..4, 1..10),
+                    1..20
+                ),
+            ) {
+                let mut c = PrefixCache::new(KvConfig::tiny(65536));
+                for p in &prompts {
+                    let (l, _) = c.acquire(p).unwrap();
+                    c.release(l);
+                }
+                let hr = c.hit_rate();
+                prop_assert!((0.0..=1.0).contains(&hr));
+            }
+        }
+    }
+}

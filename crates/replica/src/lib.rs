@@ -1,0 +1,46 @@
+//! # skywalker-replica
+//!
+//! A continuous-batching LLM inference replica simulator — the stand-in for
+//! "SGLang on one L4 GPU running Llama-3.1-8B-Instruct" that the paper's
+//! evaluation deploys (§5.1).
+//!
+//! The evaluation's signal comes from four replica-level mechanisms, all of
+//! which are modeled here:
+//!
+//! 1. **Prefill cost scales with uncached prompt tokens** — a 512-token
+//!    prompt costs ≈ 300 ms of prefill on the L4 profile (§2.1).
+//! 2. **KV memory bounds concurrency** — each running request pins KV
+//!    blocks proportional to its token count, limiting a replica to tens of
+//!    concurrent requests (§2.3, §3.3).
+//! 3. **A pending queue forms when the batch is memory-bound** — the
+//!    "pending request" signal that SkyWalker's selective pushing reads
+//!    (§3.3).
+//! 4. **Prefix-cache hits skip prefill work** — a radix tree over token
+//!    sequences with LRU eviction, as in SGLang/vLLM (§2.3).
+//!
+//! The replica is a pure state machine over virtual time: [`Replica::step`]
+//! executes one continuous-batching iteration and reports its duration plus
+//! lifecycle events; a driver (discrete-event world or wall-clock thread)
+//! schedules successive steps. Nothing here depends on the balancer.
+
+mod batch;
+mod kvcache;
+mod request;
+mod timing;
+mod tokenizer;
+
+pub use batch::{Completion, Replica, ReplicaStats, StepOutcome};
+pub use kvcache::{KvConfig, KvError, Lease, PrefixCache};
+pub use request::{Request, RequestId};
+pub use timing::GpuProfile;
+pub use tokenizer::{output_token, tokenize, tokenize_words};
+
+/// A dense replica identifier, unique within one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica-{}", self.0)
+    }
+}

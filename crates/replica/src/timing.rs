@@ -1,0 +1,155 @@
+//! GPU timing model for prefill and decode.
+//!
+//! The evaluation never depends on absolute GPU speed, only on the *shape*
+//! of inference cost: prefill time linear in uncached prompt tokens and
+//! decode time per continuous-batching iteration growing mildly with batch
+//! size. The L4 profile is calibrated to the paper's anchors: a 512-token
+//! prefill of Llama-3.1-8B-Instruct on one L4 takes ≈ 300 ms (§2.1), and a
+//! continuous-batching step takes tens of milliseconds (§4.1, probe
+//! frequency discussion).
+
+use skywalker_sim::SimDuration;
+
+use crate::kvcache::KvConfig;
+
+/// Performance profile of one accelerator hosting one model replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuProfile {
+    /// Human-readable name, e.g. `"L4/llama-3.1-8b"`.
+    pub name: &'static str,
+    /// Fixed overhead of a prefill pass, in microseconds.
+    pub prefill_base_us: u64,
+    /// Marginal prefill cost per uncached prompt token, in microseconds.
+    pub prefill_per_token_us: f64,
+    /// Fixed overhead of one decode iteration, in microseconds.
+    pub decode_base_us: u64,
+    /// Marginal decode cost per request in the batch, in microseconds.
+    pub decode_per_request_us: f64,
+    /// KV-cache geometry for this GPU + model pairing.
+    pub kv: KvConfig,
+    /// Maximum batch size the engine will schedule, irrespective of memory.
+    pub max_batch_size: u32,
+}
+
+impl GpuProfile {
+    /// The paper's testbed: one NVIDIA L4 (24 GB) running
+    /// `meta-llama/Llama-3.1-8B-Instruct` via SGLang.
+    ///
+    /// Anchors: 512-token prefill ≈ 300 ms; single-request decode
+    /// ≈ 30 ms/token; 20–50 concurrent requests before the batch is
+    /// memory-bound (§3.3).
+    pub const L4_LLAMA_8B: GpuProfile = GpuProfile {
+        name: "L4/llama-3.1-8b",
+        prefill_base_us: 20_000,
+        prefill_per_token_us: 547.0,
+        decode_base_us: 28_000,
+        decode_per_request_us: 450.0,
+        kv: KvConfig::L4_LLAMA8B,
+        max_batch_size: 48,
+    };
+
+    /// A faster accelerator (≈ A100-class) for the heterogeneous-hardware
+    /// extension discussed in §7: ~4× prefill speed, ~3× decode speed,
+    /// ~3.3× KV capacity.
+    pub const A100_LLAMA_8B: GpuProfile = GpuProfile {
+        name: "A100/llama-3.1-8b",
+        prefill_base_us: 10_000,
+        prefill_per_token_us: 130.0,
+        decode_base_us: 9_000,
+        decode_per_request_us: 150.0,
+        kv: KvConfig {
+            capacity_tokens: 163_840,
+            block_tokens: 16,
+        },
+        max_batch_size: 160,
+    };
+
+    /// Prefill time for `uncached_tokens` prompt tokens. Zero uncached
+    /// tokens (a full prefix hit) skip the pass entirely.
+    pub fn prefill_time(&self, uncached_tokens: u64) -> SimDuration {
+        if uncached_tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(
+            self.prefill_base_us
+                + (self.prefill_per_token_us * uncached_tokens as f64).round() as u64,
+        )
+    }
+
+    /// Duration of one decode iteration over `batch_size` running
+    /// requests.
+    pub fn decode_step_time(&self, batch_size: u32) -> SimDuration {
+        if batch_size == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(
+            self.decode_base_us
+                + (self.decode_per_request_us * f64::from(batch_size)).round() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l4_prefill_anchor_holds() {
+        let t = GpuProfile::L4_LLAMA_8B.prefill_time(512);
+        // The paper's anchor: "around 300 ms" for a 512-token prompt.
+        assert!(
+            (290..=320).contains(&t.as_millis()),
+            "512-token prefill = {t}"
+        );
+    }
+
+    #[test]
+    fn l4_decode_anchor_holds() {
+        let t = GpuProfile::L4_LLAMA_8B.decode_step_time(1);
+        // Single-stream decode ≈ 30 ms per token.
+        assert!((25..=35).contains(&t.as_millis()), "decode step = {t}");
+    }
+
+    #[test]
+    fn full_cache_hit_skips_prefill() {
+        assert_eq!(GpuProfile::L4_LLAMA_8B.prefill_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn decode_grows_sublinearly_with_batch() {
+        let p = GpuProfile::L4_LLAMA_8B;
+        let t1 = p.decode_step_time(1).as_micros() as f64;
+        let t32 = p.decode_step_time(32).as_micros() as f64;
+        // Batching 32 requests costs far less than 32× one request: that
+        // is the whole point of continuous batching.
+        assert!(t32 < 2.0 * t1, "t1={t1} t32={t32}");
+        // Per-token throughput improves with batch size.
+        assert!(t32 / 32.0 < t1 / 2.0);
+    }
+
+    #[test]
+    fn empty_batch_takes_no_time() {
+        assert_eq!(
+            GpuProfile::L4_LLAMA_8B.decode_step_time(0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn a100_faster_than_l4() {
+        let l4 = GpuProfile::L4_LLAMA_8B;
+        let a100 = GpuProfile::A100_LLAMA_8B;
+        assert!(a100.prefill_time(512) < l4.prefill_time(512));
+        assert!(a100.decode_step_time(8) < l4.decode_step_time(8));
+        assert!(a100.kv.capacity_tokens > l4.kv.capacity_tokens);
+    }
+
+    #[test]
+    fn prefill_linear_in_tokens() {
+        let p = GpuProfile::L4_LLAMA_8B;
+        let t100 = p.prefill_time(100).as_micros();
+        let t200 = p.prefill_time(200).as_micros();
+        let marginal = t200 - t100;
+        assert!((54_000..=55_500).contains(&marginal), "marginal {marginal}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulation time is expressed as [`SimTime`], an absolute instant in
+//! microseconds since the start of the simulation, and [`SimDuration`], a
+//! span in microseconds. Microsecond resolution is fine-grained enough for
+//! the phenomena the SkyWalker evaluation cares about (hundreds of
+//! microseconds of queueing up to tens of seconds of decoding) while keeping
+//! arithmetic exact: no floating-point clock drift, so simulations are
+//! bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in virtual time, in microseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The zero instant: simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Returns the instant as microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (truncated) milliseconds since start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the instant as fractional seconds since start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond and saturating at zero for negative inputs.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest microsecond and saturating at zero for negative inputs.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Multiplies the duration by a non-negative float, rounding to the
+    /// nearest microsecond.
+    pub fn mul_f64(self, k: f64) -> Self {
+        Self::from_secs_f64(self.as_secs_f64() * k)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_millis(100) + SimDuration::from_millis(50);
+        assert_eq!(t.as_millis(), 150);
+    }
+
+    #[test]
+    fn since_computes_difference() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(350);
+        assert_eq!(b.since(a).as_millis(), 250);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_from_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let max = SimDuration::MAX;
+        assert_eq!(max + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::from_secs(1) - SimDuration::from_secs(2),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
+        assert_eq!(SimDuration::from_millis(10) / 4, SimDuration::from_micros(2_500));
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(2.5),
+            SimDuration::from_millis(25)
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(5)), "5us");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(5)), "5.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(1)), "1.000s");
+    }
+}

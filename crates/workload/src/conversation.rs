@@ -1,0 +1,451 @@
+//! Multi-turn conversation workload generator.
+//!
+//! Reproduces the *prefix structure* of the WildChat and ChatBot Arena
+//! traces that the paper's analysis depends on (Fig. 5):
+//!
+//! - **Within-conversation reuse** — turn `t+1`'s prompt is exactly turn
+//!   `t`'s prompt plus the assistant reply plus fresh user text, so
+//!   consecutive-turn pairs have prefix similarity 1.0.
+//! - **Cross-conversation, within-user reuse** — a user's conversations
+//!   may share an application system template.
+//! - **Cross-user reuse** — different users of the same application share
+//!   its system template; template popularity is Zipf-distributed.
+//! - **Regional structure** (WildChat) — applications have regional user
+//!   bases, so template sharing is much stronger within a region than
+//!   across regions (the paper's within-region 10.9 % vs across-region
+//!   2.5 %).
+//!
+//! A conversation's prompt at turn `t` is:
+//! `template ++ persona ++ (fresh_1 ++ reply_1) ++ … ++ fresh_t`.
+
+use skywalker_net::Region;
+use skywalker_replica::{output_token, Request};
+use skywalker_sim::{DetRng, Zipf};
+
+use crate::lengths::LengthModel;
+use crate::program::{ClientSpec, IdGen, Program};
+
+/// Tunables of the conversation generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversationConfig {
+    /// Size of the global (region-independent) template pool.
+    pub global_templates: usize,
+    /// Size of each region's template pool.
+    pub regional_templates: usize,
+    /// Probability a conversation uses a regional (vs global) template.
+    pub p_regional_template: f64,
+    /// Zipf exponent over templates within a pool.
+    pub template_zipf: f64,
+    /// Tokens in a shared system template.
+    pub template_tokens: u32,
+    /// Tokens in the per-user persona/custom-instruction block.
+    pub persona_tokens: u32,
+    /// Fresh user text per turn.
+    pub turn_input: LengthModel,
+    /// Assistant reply length per turn.
+    pub turn_output: LengthModel,
+    /// Conversations per user, inclusive clamp range.
+    pub conversations_per_user: (u32, u32),
+    /// Turns per conversation, inclusive range.
+    pub turns_per_conversation: (u32, u32),
+    /// Lognormal sigma of per-user activity. Real traces are heavy-tailed
+    /// — a few users carry an outsized share of the conversations — which
+    /// is exactly what overloads per-user consistent hashing (§3.2).
+    pub activity_sigma: f64,
+}
+
+impl ConversationConfig {
+    /// WildChat-like: strong regional template structure, long user
+    /// histories, weak global sharing. Calibrated against Fig. 5a
+    /// (within-user 19.0 %, across-user 2.5 %, within-region 10.9 %,
+    /// across-region 2.5 %).
+    pub fn wildchat() -> Self {
+        ConversationConfig {
+            global_templates: 10,
+            regional_templates: 5,
+            p_regional_template: 0.65,
+            template_zipf: 1.4,
+            template_tokens: 56,
+            persona_tokens: 8,
+            turn_input: LengthModel {
+                mu: 3.9, // ≈ 50 tokens median fresh text
+                sigma: 0.9,
+                min: 4,
+                max: 2_048,
+            },
+            turn_output: LengthModel {
+                mu: 4.4, // ≈ 80 tokens median reply
+                sigma: 0.8,
+                min: 4,
+                max: 2_048,
+            },
+            conversations_per_user: (2, 24),
+            turns_per_conversation: (2, 4),
+            activity_sigma: 0.9,
+        }
+    }
+
+    /// ChatBot Arena-like: one global application, heavier cross-user
+    /// template sharing, no regional structure. Calibrated against
+    /// Fig. 5a (within-user 20.5 %, across-user 8.3 %).
+    pub fn arena() -> Self {
+        ConversationConfig {
+            global_templates: 6,
+            regional_templates: 0,
+            p_regional_template: 0.0,
+            template_zipf: 1.5,
+            template_tokens: 64,
+            persona_tokens: 6,
+            turn_input: LengthModel {
+                mu: 3.9,
+                sigma: 0.9,
+                min: 4,
+                max: 2_048,
+            },
+            turn_output: LengthModel {
+                mu: 4.4,
+                sigma: 0.8,
+                min: 4,
+                max: 2_048,
+            },
+            conversations_per_user: (2, 24),
+            turns_per_conversation: (2, 5),
+            activity_sigma: 0.9,
+        }
+    }
+}
+
+/// Deterministic token streams for the synthetic text fragments.
+fn stream_token(label: u64, k: u32) -> u32 {
+    let mut h = label ^ 0x51_7c_c1_b7_27_22_0a_95;
+    h ^= u64::from(k).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    h = (h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (h >> 32) as u32
+}
+
+fn label(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        h ^= p;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fragment(lbl: u64, len: u32) -> Vec<u32> {
+    (0..len).map(|k| stream_token(lbl, k)).collect()
+}
+
+/// Generates the client population for one conversation workload.
+///
+/// `users_per_region` lists `(region, user_count)`; `seed` controls all
+/// randomness. Every user gets a [`ClientSpec`] whose programs are that
+/// user's conversations.
+pub fn generate_clients(
+    cfg: &ConversationConfig,
+    users_per_region: &[(Region, u32)],
+    seed: u64,
+    ids: &mut IdGen,
+) -> Vec<ClientSpec> {
+    let mut clients = Vec::new();
+    let template_zipf = |n: usize| {
+        if n == 0 {
+            None
+        } else {
+            Some(Zipf::new(n, 1.0))
+        }
+    };
+    let global_zipf = Zipf::new(cfg.global_templates.max(1), cfg.template_zipf);
+    let regional_zipf = template_zipf(cfg.regional_templates);
+
+    let mut user_seq = 0u64;
+    for &(region, count) in users_per_region {
+        for _ in 0..count {
+            let user_id = user_seq;
+            user_seq += 1;
+            let user = format!("user-{user_id}");
+            let mut rng = DetRng::for_component(seed, &format!("conv/{user}"));
+            // Heavy-tailed per-user activity: median near the low end of
+            // the clamp range, a long tail of power users.
+            let (lo, hi) = cfg.conversations_per_user;
+            let median = f64::from(lo.max(1)) * 2.0;
+            let n_convs = rng
+                .lognormal(median.ln(), cfg.activity_sigma)
+                .round()
+                .clamp(f64::from(lo), f64::from(hi)) as u32;
+            let mut programs = Vec::with_capacity(n_convs as usize);
+            for conv in 0..n_convs {
+                programs.push(generate_conversation(
+                    cfg,
+                    region,
+                    user_id,
+                    &user,
+                    conv,
+                    &mut rng,
+                    ids,
+                    &global_zipf,
+                    regional_zipf.as_ref().map(|z| {
+                        // Reuse the configured exponent for regional pools.
+                        let _ = z;
+                        Zipf::new(cfg.regional_templates, cfg.template_zipf)
+                    }),
+                ));
+            }
+            clients.push(ClientSpec {
+                region,
+                user,
+                programs,
+            });
+        }
+    }
+    clients
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_conversation(
+    cfg: &ConversationConfig,
+    region: Region,
+    user_id: u64,
+    user: &str,
+    conv: u32,
+    rng: &mut DetRng,
+    ids: &mut IdGen,
+    global_zipf: &Zipf,
+    regional_zipf: Option<Zipf>,
+) -> Program {
+    // Pick the application template: regional pools model apps with a
+    // geographically concentrated user base.
+    let template = match (&regional_zipf, rng.chance(cfg.p_regional_template)) {
+        (Some(z), true) => {
+            let t = z.sample(rng) as u64;
+            fragment(
+                label(&[0xA11, region.index() as u64, t]),
+                cfg.template_tokens,
+            )
+        }
+        _ => {
+            let t = global_zipf.sample(rng) as u64;
+            fragment(label(&[0x61, t]), cfg.template_tokens)
+        }
+    };
+    let persona = fragment(label(&[0x9E&0xFFFF, user_id]), cfg.persona_tokens);
+
+    let turns = rng.range(
+        u64::from(cfg.turns_per_conversation.0),
+        u64::from(cfg.turns_per_conversation.1) + 1,
+    ) as u32;
+
+    let mut history: Vec<u32> = Vec::new();
+    history.extend(&template);
+    history.extend(&persona);
+
+    let mut stages = Vec::with_capacity(turns as usize);
+    for turn in 0..turns {
+        let fresh = fragment(
+            label(&[0xF5, user_id, u64::from(conv), u64::from(turn)]),
+            cfg.turn_input.sample(rng),
+        );
+        history.extend(&fresh);
+        let out_len = cfg.turn_output.sample(rng);
+        let id = ids.next_id();
+        stages.push(vec![Request::new(
+            id,
+            format!("{user}/conv-{conv}"),
+            history.clone(),
+            out_len,
+        )]);
+        // The assistant reply becomes part of the next turn's prompt.
+        history.extend((0..out_len).map(|k| output_token(id, k)));
+    }
+    Program { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix_stats::{grouped_similarity, prefix_similarity};
+
+    fn one_region() -> Vec<(Region, u32)> {
+        vec![(Region::UsEast, 12)]
+    }
+
+    #[test]
+    fn turns_are_sequential_single_request_stages() {
+        let mut ids = IdGen::new();
+        let clients =
+            generate_clients(&ConversationConfig::wildchat(), &one_region(), 1, &mut ids);
+        assert_eq!(clients.len(), 12);
+        for c in &clients {
+            assert!(!c.programs.is_empty());
+            for p in &c.programs {
+                assert!((2..=4).contains(&(p.stages.len() as u32)));
+                assert!(p.stages.iter().all(|s| s.len() == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_turns_extend_the_prompt_exactly() {
+        let mut ids = IdGen::new();
+        let clients =
+            generate_clients(&ConversationConfig::wildchat(), &one_region(), 2, &mut ids);
+        let p = &clients[0].programs[0];
+        for pair in p.stages.windows(2) {
+            let a = &pair[0][0];
+            let b = &pair[1][0];
+            assert!(b.prompt.len() > a.prompt.len());
+            assert_eq!(
+                &b.prompt[..a.prompt.len()],
+                a.prompt.as_slice(),
+                "turn t+1 must extend turn t"
+            );
+            // Specifically, the reply tokens follow immediately.
+            let reply: Vec<u32> = (0..a.target_output_tokens)
+                .map(|k| output_token(a.id.0, k))
+                .collect();
+            assert_eq!(
+                &b.prompt[a.prompt.len()..a.prompt.len() + reply.len()],
+                reply.as_slice()
+            );
+            assert!(prefix_similarity(&a.prompt, &b.prompt) == 1.0);
+        }
+    }
+
+    #[test]
+    fn request_ids_globally_unique() {
+        let mut ids = IdGen::new();
+        let clients =
+            generate_clients(&ConversationConfig::arena(), &one_region(), 3, &mut ids);
+        let mut seen: Vec<u64> = clients
+            .iter()
+            .flat_map(|c| c.programs.iter())
+            .flat_map(|p| p.requests())
+            .map(|r| r.id.0)
+            .collect();
+        let n = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn session_key_stable_within_conversation() {
+        let mut ids = IdGen::new();
+        let clients =
+            generate_clients(&ConversationConfig::wildchat(), &one_region(), 4, &mut ids);
+        for c in &clients {
+            for p in &c.programs {
+                let keys: Vec<&str> =
+                    p.requests().map(|r| r.session_key.as_str()).collect();
+                assert!(keys.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut ids1 = IdGen::new();
+        let mut ids2 = IdGen::new();
+        let a = generate_clients(&ConversationConfig::arena(), &one_region(), 5, &mut ids1);
+        let b = generate_clients(&ConversationConfig::arena(), &one_region(), 5, &mut ids2);
+        assert_eq!(a, b);
+    }
+
+    /// The Fig. 5a calibration: similarity structure must reproduce the
+    /// paper's ordering and rough magnitudes.
+    #[test]
+    fn wildchat_similarity_structure() {
+        let mut ids = IdGen::new();
+        let regions = vec![
+            (Region::UsEast, 10),
+            (Region::EuWest, 10),
+            (Region::ApNortheast, 10),
+        ];
+        let clients =
+            generate_clients(&ConversationConfig::wildchat(), &regions, 11, &mut ids);
+
+        // Group prompts by user.
+        let user_groups: Vec<Vec<Vec<u32>>> = clients
+            .iter()
+            .map(|c| {
+                c.programs
+                    .iter()
+                    .flat_map(|p| p.requests())
+                    .map(|r| r.prompt.clone())
+                    .collect()
+            })
+            .collect();
+        let (within_user, across_user) = grouped_similarity(&user_groups);
+
+        // Group prompts by region.
+        let mut region_groups: Vec<Vec<Vec<u32>>> = vec![Vec::new(); 3];
+        for (i, (region, _)) in regions.iter().enumerate() {
+            for c in clients.iter().filter(|c| c.region == *region) {
+                region_groups[i].extend(
+                    c.programs
+                        .iter()
+                        .flat_map(|p| p.requests())
+                        .map(|r| r.prompt.clone()),
+                );
+            }
+        }
+        let (within_region, across_region) = grouped_similarity(&region_groups);
+
+        // Paper (WildChat): within-user 19.0 %, across-user 2.5 %,
+        // within-region 10.9 %, across-region 2.5 %.
+        assert!(
+            (0.10..=0.32).contains(&within_user),
+            "within-user {within_user}"
+        );
+        assert!(
+            (0.005..=0.06).contains(&across_user),
+            "across-user {across_user}"
+        );
+        assert!(
+            (0.05..=0.18).contains(&within_region),
+            "within-region {within_region}"
+        );
+        assert!(
+            (0.005..=0.06).contains(&across_region),
+            "across-region {across_region}"
+        );
+        assert!(within_user > 3.0 * across_user, "paper ratio ≥ 7.6×ish");
+        assert!(within_region > 2.0 * across_region);
+    }
+
+    #[test]
+    fn arena_similarity_structure() {
+        let mut ids = IdGen::new();
+        let clients = generate_clients(
+            &ConversationConfig::arena(),
+            &[(Region::UsEast, 24)],
+            13,
+            &mut ids,
+        );
+        let user_groups: Vec<Vec<Vec<u32>>> = clients
+            .iter()
+            .map(|c| {
+                c.programs
+                    .iter()
+                    .flat_map(|p| p.requests())
+                    .map(|r| r.prompt.clone())
+                    .collect()
+            })
+            .collect();
+        let (within_user, across_user) = grouped_similarity(&user_groups);
+        // Paper (Arena): within-user 20.5 %, across-user 8.3 % (2.47×).
+        assert!(
+            (0.12..=0.32).contains(&within_user),
+            "within-user {within_user}"
+        );
+        assert!(
+            (0.04..=0.14).contains(&across_user),
+            "across-user {across_user}"
+        );
+        assert!(within_user > 1.5 * across_user);
+        assert!(
+            within_user / across_user < 6.0,
+            "arena sharing is much flatter than wildchat"
+        );
+    }
+}

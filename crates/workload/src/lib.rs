@@ -1,0 +1,38 @@
+//! # skywalker-workload
+//!
+//! Synthetic workload generators reproducing the structure of the traces
+//! the paper evaluates on — WildChat and ChatBot Arena multi-turn
+//! conversations, Tree-of-Thoughts program traces over GSM8K-style
+//! questions, and the diurnal per-region arrival patterns that motivate
+//! cross-region serving in the first place.
+//!
+//! The real datasets are not shipped; instead each generator is calibrated
+//! to the published statistics the paper derives from them:
+//!
+//! - diurnal per-region load with 2.88–32.64× per-region swings that
+//!   aggregate to ≈ 1.29× (Fig. 2, Fig. 3a) — [`diurnal`];
+//! - heavy-tailed input/output token lengths (Fig. 4a) — [`lengths`];
+//! - within-user ≫ across-user and within-region ≫ across-region prefix
+//!   similarity (Fig. 5) — [`conversation`] + [`prefix_stats`];
+//! - ToT trees with 15 (2-branch) / 85 (4-branch) requests and level
+//!   concurrency (§5.1) — [`tot`].
+//!
+//! Generators emit [`program::Program`]s: fully materialized stages of
+//! [`skywalker_replica::Request`]s, ready for a closed-loop client.
+
+pub mod conversation;
+pub mod diurnal;
+pub mod lengths;
+pub mod prefix_stats;
+pub mod program;
+pub mod tot;
+
+pub use conversation::{generate_clients as generate_conversation_clients, ConversationConfig};
+pub use diurnal::{aggregate_hourly, fig2_countries, fig3_regions, variance_ratio, DiurnalProfile};
+pub use lengths::{empirical_cdf, LengthModel};
+pub use prefix_stats::{
+    grouped_similarity, mean_cross_similarity, mean_within_similarity, prefix_similarity,
+    similarity_matrix,
+};
+pub use program::{ClientSpec, IdGen, Program};
+pub use tot::{generate_clients as generate_tot_clients, generate_tree, TotConfig};

@@ -1,0 +1,177 @@
+//! Prefix-similarity analysis (Fig. 5).
+//!
+//! The paper defines the prefix similarity of two requests `a`, `b` as
+//! `len(common_prefix(a, b)) / min(len(a), len(b))` (§3.2, footnote 1) and
+//! reports the average within/across users and regions, plus a pairwise
+//! heatmap over 100 users. These functions compute the same statistics
+//! over token sequences.
+
+/// Prefix similarity per the paper's definition. Both-empty pairs define
+/// to 1 (identical), one-empty pairs to 0.
+pub fn prefix_similarity(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let common = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    common as f64 / a.len().min(b.len()) as f64
+}
+
+/// Mean pairwise similarity between all `(x ∈ xs, y ∈ ys)` pairs of two
+/// *distinct* groups. Returns 0 if either group is empty.
+pub fn mean_cross_similarity(xs: &[Vec<u32>], ys: &[Vec<u32>]) -> f64 {
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for x in xs {
+        for y in ys {
+            acc += prefix_similarity(x, y);
+        }
+    }
+    acc / (xs.len() * ys.len()) as f64
+}
+
+/// Mean pairwise similarity among distinct pairs within one group.
+/// Returns 0 for fewer than two members.
+pub fn mean_within_similarity(xs: &[Vec<u32>]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut n = 0u64;
+    for i in 0..xs.len() {
+        for j in (i + 1)..xs.len() {
+            acc += prefix_similarity(&xs[i], &xs[j]);
+            n += 1;
+        }
+    }
+    acc / n as f64
+}
+
+/// Within-group vs across-group mean similarity over labelled request
+/// groups (user → requests, or region → requests). This is the Fig. 5a
+/// computation.
+pub fn grouped_similarity(groups: &[Vec<Vec<u32>>]) -> (f64, f64) {
+    let mut within_acc = 0.0;
+    let mut within_n = 0u64;
+    for g in groups {
+        if g.len() >= 2 {
+            // Accumulate pair-count-weighted to match the paper's
+            // "average over all pairs" definition.
+            let pairs = (g.len() * (g.len() - 1) / 2) as u64;
+            within_acc += mean_within_similarity(g) * pairs as f64;
+            within_n += pairs;
+        }
+    }
+    let mut across_acc = 0.0;
+    let mut across_n = 0u64;
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let pairs = (groups[i].len() * groups[j].len()) as u64;
+            if pairs > 0 {
+                across_acc += mean_cross_similarity(&groups[i], &groups[j]) * pairs as f64;
+                across_n += pairs;
+            }
+        }
+    }
+    (
+        if within_n == 0 { 0.0 } else { within_acc / within_n as f64 },
+        if across_n == 0 { 0.0 } else { across_acc / across_n as f64 },
+    )
+}
+
+/// Pairwise user-level similarity matrix (Fig. 5b's heatmap): entry
+/// `(i, j)` is the mean cross-similarity of user `i`'s and user `j`'s
+/// requests (within-similarity on the diagonal).
+pub fn similarity_matrix(users: &[Vec<Vec<u32>>]) -> Vec<Vec<f64>> {
+    let n = users.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = mean_within_similarity(&users[i]);
+        for j in (i + 1)..n {
+            let s = mean_cross_similarity(&users[i], &users[j]);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_definition() {
+        assert_eq!(prefix_similarity(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(prefix_similarity(&[1, 2, 3, 4], &[1, 2]), 1.0, "a prefix of b is 1");
+        assert_eq!(prefix_similarity(&[1, 2, 3, 4], &[1, 2, 9]), 2.0 / 3.0);
+        assert_eq!(prefix_similarity(&[5], &[6]), 0.0);
+        assert_eq!(prefix_similarity(&[], &[]), 1.0);
+        assert_eq!(prefix_similarity(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn within_and_cross_means() {
+        let a = vec![vec![1, 2, 3], vec![1, 2, 4]];
+        let b = vec![vec![9, 9]];
+        assert!((mean_within_similarity(&a) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(mean_cross_similarity(&a, &b), 0.0);
+        assert_eq!(mean_within_similarity(&b), 0.0, "singleton group");
+        assert_eq!(mean_cross_similarity(&[], &b), 0.0);
+    }
+
+    #[test]
+    fn grouped_similarity_separates_structure() {
+        // Two groups with internally shared prefixes, nothing across.
+        let groups = vec![
+            vec![vec![1, 2, 3, 4], vec![1, 2, 3, 9], vec![1, 2, 7, 7]],
+            vec![vec![5, 6, 7, 8], vec![5, 6, 7, 0]],
+        ];
+        let (within, across) = grouped_similarity(&groups);
+        assert!(within > 0.5);
+        assert_eq!(across, 0.0);
+    }
+
+    #[test]
+    fn grouped_similarity_weighting_is_pairwise() {
+        // One big group of identical requests and one tiny dissimilar
+        // group: the big group's many pairs must dominate the average.
+        let groups = vec![
+            vec![vec![1, 2]; 10],
+            vec![vec![3], vec![4]],
+        ];
+        let (within, _) = grouped_similarity(&groups);
+        let total_pairs = (10 * 9 / 2 + 1) as f64;
+        assert!((within - 45.0 / total_pairs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_symmetric_with_unit_scale() {
+        let users = vec![
+            vec![vec![1, 2, 3], vec![1, 2, 4]],
+            vec![vec![1, 9], vec![1, 8]],
+            vec![vec![7]],
+        ];
+        let m = similarity_matrix(&users);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&m[i][j]));
+            }
+        }
+        // Users 0 and 1 share only the first token.
+        assert!(m[0][1] > 0.0 && m[0][1] < m[0][0]);
+        assert_eq!(m[2][2], 0.0, "singleton diagonal");
+    }
+
+    #[test]
+    fn degenerate_groups() {
+        assert_eq!(grouped_similarity(&[]), (0.0, 0.0));
+        let one = vec![vec![vec![1, 2, 3]]];
+        assert_eq!(grouped_similarity(&one), (0.0, 0.0));
+    }
+}

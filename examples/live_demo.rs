@@ -1,0 +1,88 @@
+//! Live mode: the same balancer and replica logic over real TCP sockets.
+//!
+//! Spawns two mock replica servers and two balancer "regions" on
+//! localhost, peers the balancers, then drives traffic with blocking
+//! clients — including a forced cross-"region" forward when one balancer
+//! has no local capacity.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example live_demo
+//! ```
+
+use std::time::Duration;
+
+use skywalker::core::{BalancerConfig, LbId};
+use skywalker::net::Region;
+use skywalker::replica::{GpuProfile, ReplicaId, Request};
+use skywalker_live::{BalancerServer, LiveClient, ReplicaServer};
+
+fn main() {
+    // 0.002 time scale: a 300 ms prefill takes 0.6 ms of wall time.
+    let scale = 0.002;
+    let r0 = ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, scale).unwrap();
+    let r1 = ReplicaServer::spawn(ReplicaId(1), GpuProfile::L4_LLAMA_8B, scale).unwrap();
+
+    let us = BalancerServer::spawn(
+        LbId(0),
+        BalancerConfig::skywalker(Region::UsEast),
+        Duration::from_millis(20),
+    )
+    .unwrap();
+    let eu = BalancerServer::spawn(
+        LbId(1),
+        BalancerConfig::skywalker(Region::EuWest),
+        Duration::from_millis(20),
+    )
+    .unwrap();
+    // All replicas live in "Europe"; the US balancer must forward.
+    eu.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+    eu.attach_replica(ReplicaId(1), r1.addr()).unwrap();
+    us.connect_peer(LbId(1), Region::EuWest, eu.addr()).unwrap();
+    eu.connect_peer(LbId(0), Region::UsEast, us.addr()).unwrap();
+
+    println!("live topology:");
+    println!("  us balancer  {}", us.addr());
+    println!("  eu balancer  {}  (owns both replicas)", eu.addr());
+    println!("  replica 0    {}", r0.addr());
+    println!("  replica 1    {}\n", r1.addr());
+
+    // Give the probe threads a round to discover availability.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut eu_client = LiveClient::connect(eu.addr()).unwrap();
+    let mut us_client = LiveClient::connect(us.addr()).unwrap();
+
+    let prompt: Vec<u32> = (0..512).collect();
+    let out = eu_client
+        .run(&Request::new(1, "eu-user", prompt.clone(), 64))
+        .unwrap();
+    println!(
+        "eu-local request : ttft {:>7.1?}  e2e {:>7.1?}  cached {:>3} tokens",
+        out.ttft, out.e2e, out.cached_prompt_tokens
+    );
+
+    let out = eu_client
+        .run(&Request::new(2, "eu-user", prompt.clone(), 64))
+        .unwrap();
+    println!(
+        "eu repeat        : ttft {:>7.1?}  e2e {:>7.1?}  cached {:>3} tokens (prefix hit)",
+        out.ttft, out.e2e, out.cached_prompt_tokens
+    );
+
+    let out = us_client
+        .run(&Request::new(3, "us-user", (1000..1400).collect(), 64))
+        .unwrap();
+    println!(
+        "us -> eu forward : ttft {:>7.1?}  e2e {:>7.1?}  (forwarded {} request)",
+        out.ttft,
+        out.e2e,
+        us.forwarded()
+    );
+
+    us.shutdown();
+    eu.shutdown();
+    r0.shutdown();
+    r1.shutdown();
+    println!("\nclean shutdown — same routing code as the simulator, real sockets.");
+}

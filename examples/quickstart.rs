@@ -1,0 +1,49 @@
+//! Quickstart: deploy SkyWalker on a three-region fleet, replay a small
+//! ChatBot Arena-style workload, and print the paper's headline metrics.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use skywalker::{fig8_scenario, run_scenario, FabricConfig, SystemKind, Workload};
+
+fn main() {
+    // 0.25 × the paper's client population keeps the demo quick; pass a
+    // scale factor as the first argument to change it.
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    println!("SkyWalker quickstart — ChatBot Arena workload, scale {scale}");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "system", "tok/s", "TTFT p50", "TTFT p90", "E2E p50", "hit%", "fwd"
+    );
+
+    for system in [
+        SystemKind::RoundRobin,
+        SystemKind::LeastLoad,
+        SystemKind::SglRouter,
+        SystemKind::SkyWalkerCh,
+        SystemKind::SkyWalker,
+    ] {
+        let scenario = fig8_scenario(system, Workload::Arena, scale, 42);
+        let s = run_scenario(&scenario, &FabricConfig::default());
+        println!(
+            "{:<14} {:>10.0} {:>8.2}s {:>8.2}s {:>8.2}s {:>7.1}% {:>7}",
+            system.label(),
+            s.report.throughput_tps,
+            s.report.ttft.p50,
+            s.report.ttft.p90,
+            s.report.e2e.p50,
+            100.0 * s.replica_hit_rate,
+            s.forwarded,
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("Baselines run behind one centralized US balancer (Fig. 1b);");
+    println!("SkyWalker runs one balancer per region with selective pushing.");
+}

@@ -1,0 +1,981 @@
+//! The multi-region deployment fabric: a discrete-event simulation wiring
+//! clients, DNS, load balancers, the wide-area network, replicas, and the
+//! controller into one reproducible world.
+//!
+//! This is the substrate on which every end-to-end experiment of the
+//! paper runs (§5): the same [`RegionalBalancer`] / [`Replica`] state
+//! machines the live TCP mode uses, driven here by a virtual clock. One
+//! [`Scenario`] describes a deployment (which system, where the replicas
+//! are, who the clients are, what faults to inject); [`run_scenario`]
+//! plays it out and returns a [`RunSummary`] with the paper's metrics:
+//! service throughput, TTFT and end-to-end latency distributions,
+//! KV-cache hit rate, and load-balance diagnostics.
+
+use std::collections::{BTreeMap, HashMap};
+
+use skywalker_core::{
+    BalancerConfig, ControlAction, Controller, Decision, LbId, PolicyKind, PushMode,
+    RegionalBalancer, RoutingConstraint,
+};
+use skywalker_metrics::{peak_gap, RequestTracker, RunReport, TimeSeries};
+use skywalker_net::{DnsResolver, Endpoint, LatencyModel, Region};
+use skywalker_replica::{
+    Completion, GpuProfile, Replica, ReplicaId, ReplicaStats, Request, RequestId,
+};
+use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
+use skywalker_workload::ClientSpec;
+
+/// Which serving system to deploy — the seven systems of Fig. 8 plus the
+/// region-local baseline of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// GKE Gateway: per-region entry, least-connection spill across
+    /// clusters, no LLM awareness.
+    GkeGateway,
+    /// Round robin behind one centralized balancer.
+    RoundRobin,
+    /// Least load behind one centralized balancer.
+    LeastLoad,
+    /// Consistent hashing behind one centralized balancer.
+    ConsistentHash,
+    /// SGLang Router: cache-aware policy, blind pushing, centralized.
+    SglRouter,
+    /// SkyWalker-CH: geo-distributed, ring hashing, SP-P.
+    SkyWalkerCh,
+    /// SkyWalker: geo-distributed, prefix trees, SP-P.
+    SkyWalker,
+    /// Region-local: per-region balancer, no cross-region forwarding.
+    RegionLocal,
+}
+
+impl SystemKind {
+    /// All seven systems of the Fig. 8 comparison, in the paper's order.
+    pub const FIG8: [SystemKind; 7] = [
+        SystemKind::GkeGateway,
+        SystemKind::RoundRobin,
+        SystemKind::LeastLoad,
+        SystemKind::ConsistentHash,
+        SystemKind::SglRouter,
+        SystemKind::SkyWalkerCh,
+        SystemKind::SkyWalker,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::GkeGateway => "GKE Gateway",
+            SystemKind::RoundRobin => "RR",
+            SystemKind::LeastLoad => "LL",
+            SystemKind::ConsistentHash => "CH",
+            SystemKind::SglRouter => "SGL",
+            SystemKind::SkyWalkerCh => "SkyWalker-CH",
+            SystemKind::SkyWalker => "SkyWalker",
+            SystemKind::RegionLocal => "Region-Local",
+        }
+    }
+
+    /// The deployment shape this system uses.
+    pub fn deployment(&self) -> Deployment {
+        match self {
+            SystemKind::GkeGateway => Deployment::PerRegion {
+                policy: PolicyKind::LeastLoad,
+                push: PushMode::Outstanding { max: 8 },
+                forward: true,
+                tau: 8,
+                constraint: RoutingConstraint::Unrestricted,
+            },
+            SystemKind::RoundRobin => Deployment::centralized(PolicyKind::RoundRobin),
+            SystemKind::LeastLoad => Deployment::centralized(PolicyKind::LeastLoad),
+            SystemKind::ConsistentHash => {
+                Deployment::centralized(PolicyKind::ConsistentHash)
+            }
+            SystemKind::SglRouter => Deployment::centralized(PolicyKind::CacheAware),
+            SystemKind::SkyWalkerCh => Deployment::PerRegion {
+                policy: PolicyKind::ConsistentHash,
+                push: PushMode::Pending,
+                forward: true,
+                tau: 4,
+                constraint: RoutingConstraint::Unrestricted,
+            },
+            SystemKind::SkyWalker => Deployment::PerRegion {
+                policy: PolicyKind::CacheAware,
+                push: PushMode::Pending,
+                forward: true,
+                tau: 4,
+                constraint: RoutingConstraint::Unrestricted,
+            },
+            SystemKind::RegionLocal => Deployment::PerRegion {
+                policy: PolicyKind::CacheAware,
+                push: PushMode::Pending,
+                forward: false,
+                tau: 4,
+                constraint: RoutingConstraint::Unrestricted,
+            },
+        }
+    }
+}
+
+/// Deployment shape: where balancers sit and how they behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// One balancer in `lb_region` fronting every replica everywhere —
+    /// the naive global coordinator of Fig. 1(b).
+    Centralized {
+        /// Where the single balancer runs (the paper deploys it in the
+        /// US).
+        lb_region: Region,
+        /// Placement policy.
+        policy: PolicyKind,
+        /// Admission discipline.
+        push: PushMode,
+    },
+    /// One balancer per region that hosts replicas or clients —
+    /// SkyWalker's shape (Fig. 1(c)), also used for region-local and
+    /// gateway baselines.
+    PerRegion {
+        /// Placement policy (both layers).
+        policy: PolicyKind,
+        /// Admission discipline.
+        push: PushMode,
+        /// Whether cross-region forwarding is enabled.
+        forward: bool,
+        /// Peer queue buffer τ.
+        tau: u32,
+        /// Regulatory constraint.
+        constraint: RoutingConstraint,
+    },
+}
+
+impl Deployment {
+    fn centralized(policy: PolicyKind) -> Self {
+        Deployment::Centralized {
+            lb_region: Region::UsEast,
+            policy,
+            push: PushMode::Blind,
+        }
+    }
+}
+
+/// A replica to deploy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaPlacement {
+    /// Region hosting the replica.
+    pub region: Region,
+    /// GPU/model profile.
+    pub profile: GpuProfile,
+}
+
+/// Take a balancer down (or bring it back) at a point in time — the §4.2
+/// failure-recovery drills.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// Index of the balancer (by creation order) to affect.
+    pub lb_index: u32,
+    /// True = crash, false = recover.
+    pub down: bool,
+}
+
+/// One experiment: a system, a fleet, a client population, faults.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which serving system to run.
+    pub system: SystemKind,
+    /// The replica fleet.
+    pub replicas: Vec<ReplicaPlacement>,
+    /// The closed-loop client population.
+    pub clients: Vec<ClientSpec>,
+    /// Balancer fault injections.
+    pub faults: Vec<FaultEvent>,
+    /// Replaces the system's standard deployment shape (for ablations
+    /// such as Fig. 9's BP / SP-O / SP-P sweep).
+    pub deployment_override: Option<Deployment>,
+}
+
+impl Scenario {
+    /// A fault-free scenario with the system's standard deployment.
+    pub fn new(
+        system: SystemKind,
+        replicas: Vec<ReplicaPlacement>,
+        clients: Vec<ClientSpec>,
+    ) -> Self {
+        Scenario {
+            system,
+            replicas,
+            clients,
+            faults: Vec::new(),
+            deployment_override: None,
+        }
+    }
+
+    /// Overrides the deployment shape (ablation studies).
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment_override = Some(deployment);
+        self
+    }
+}
+
+/// Fabric-wide timing knobs.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Root seed for all randomness.
+    pub seed: u64,
+    /// Wide-area latency model.
+    pub net: LatencyModel,
+    /// Selective-pushing probe interval (the paper uses 100 ms, §4.1).
+    pub probe_interval: SimDuration,
+    /// LB → controller heartbeat interval.
+    pub heartbeat_interval: SimDuration,
+    /// Controller failure-detection timeout.
+    pub controller_timeout: SimDuration,
+    /// Client retry delay after losing a request to a dead balancer.
+    pub retry_delay: SimDuration,
+    /// Hard stop; the run ends even if clients are unfinished.
+    pub deadline: SimTime,
+    /// Memory bound of the balancer routing tries, in tokens.
+    pub trie_max_tokens: usize,
+    /// Hit-ratio threshold of the cache-aware policy (§5.1: 0.5).
+    pub affinity_threshold: f64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            seed: 0xD1CE,
+            net: LatencyModel::default_wan(),
+            probe_interval: SimDuration::from_millis(100),
+            heartbeat_interval: SimDuration::from_millis(500),
+            controller_timeout: SimDuration::from_secs(2),
+            retry_delay: SimDuration::from_secs(1),
+            deadline: SimTime::from_secs(4 * 3600),
+            trie_max_tokens: 1 << 22,
+            affinity_threshold: 0.5,
+        }
+    }
+}
+
+/// Results of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The system that ran.
+    pub system: SystemKind,
+    /// Client-observed metrics (throughput, TTFT, E2E, hit rate).
+    pub report: RunReport,
+    /// Virtual time when the run ended.
+    pub end_time: SimTime,
+    /// Aggregated per-replica engine statistics.
+    pub replica_stats: Vec<ReplicaStats>,
+    /// Prefix-cache hit rate measured at the replicas.
+    pub replica_hit_rate: f64,
+    /// Requests forwarded across regions.
+    pub forwarded: u64,
+    /// Max/min ratio of per-replica dispatch counts (load imbalance).
+    pub dispatch_imbalance: f64,
+    /// Max/min ratio of per-replica *peak outstanding* requests — the
+    /// paper's "variance in outstanding request counts".
+    pub outstanding_imbalance: f64,
+    /// Peak outstanding requests observed per replica (probe-sampled).
+    pub peak_outstanding: Vec<u32>,
+    /// Largest balancer-side queue observed across all balancers.
+    pub peak_lb_queue: usize,
+    /// Max/min ratio of per-replica peak KV utilization (Fig. 4b).
+    pub kv_peak_gap: f64,
+    /// Per-replica KV-utilization traces.
+    pub kv_series: Vec<TimeSeries>,
+}
+
+impl RunSummary {
+    /// Mean requests-per-second completed.
+    pub fn request_rate(&self) -> f64 {
+        let secs = self.end_time.as_secs_f64();
+        if secs > 0.0 {
+            self.report.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The simulation world
+// ---------------------------------------------------------------------------
+
+enum Ev {
+    IssueStage {
+        client: usize,
+    },
+    Retry {
+        client: usize,
+        req: Request,
+    },
+    LbReceive {
+        lb: u32,
+        req: Request,
+        hops: u8,
+    },
+    LbDispatch {
+        lb: u32,
+    },
+    ReplicaReceive {
+        replica: u32,
+        req: Request,
+    },
+    ReplicaKick {
+        replica: u32,
+    },
+    IterationDone {
+        replica: u32,
+        first_tokens: Vec<RequestId>,
+        completions: Vec<Completion>,
+    },
+    DeliverFirstToken {
+        req: RequestId,
+    },
+    DeliverCompletion {
+        client: usize,
+        completion: Completion,
+    },
+    ProbeTick,
+    PeerStatus {
+        to: u32,
+        from: u32,
+        avail: u32,
+        qlen: u32,
+    },
+    HeartbeatTick,
+    ControllerTick,
+    Fault {
+        lb: u32,
+        down: bool,
+    },
+}
+
+struct ClientState {
+    spec: ClientSpec,
+    program_idx: usize,
+    stage_idx: usize,
+    inflight: u32,
+    finished: bool,
+}
+
+struct Fabric {
+    cfg: FabricConfig,
+    rng: DetRng,
+    lbs: Vec<RegionalBalancer>,
+    lb_alive: Vec<bool>,
+    replicas: Vec<Replica>,
+    replica_region: Vec<Region>,
+    replica_stepping: Vec<bool>,
+    clients: Vec<ClientState>,
+    dns: DnsResolver,
+    controller: Controller,
+    tracker: RequestTracker,
+    /// RequestId → issuing client.
+    req_client: HashMap<u64, usize>,
+    /// RequestId → balancer that dispatched it locally.
+    req_lb: HashMap<u64, u32>,
+    kv_series: Vec<TimeSeries>,
+    peak_outstanding: Vec<u32>,
+    active_clients: usize,
+    forward_enabled: bool,
+}
+
+impl Fabric {
+    fn lb_endpoint(i: u32, region: Region) -> Endpoint {
+        Endpoint { region, lb_id: i }
+    }
+
+    fn issue_request(
+        &mut self,
+        client_idx: usize,
+        req: Request,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        record_arrival: bool,
+    ) {
+        let region = self.clients[client_idx].spec.region;
+        if record_arrival {
+            self.tracker.arrival(req.id.0, now, req.prompt.len() as u64);
+            self.req_client.insert(req.id.0, client_idx);
+        }
+        let Some(ep) = self.dns.resolve(region) else {
+            // Total outage: retry later.
+            sched.after(self.cfg.retry_delay, Ev::Retry {
+                client: client_idx,
+                req,
+            });
+            return;
+        };
+        let delay = self
+            .cfg
+            .net
+            .sample_one_way(region, ep.region, &mut self.rng);
+        sched.after(delay, Ev::LbReceive {
+            lb: ep.lb_id,
+            req,
+            hops: 0,
+        });
+    }
+
+    fn route_decisions(&mut self, lb: u32, decisions: Vec<Decision>, sched: &mut Scheduler<Ev>) {
+        let lb_region = self.lbs[lb as usize].region();
+        for d in decisions {
+            match d {
+                Decision::Local { req, replica } => {
+                    self.req_lb.insert(req.id.0, lb);
+                    let delay = self.cfg.net.sample_one_way(
+                        lb_region,
+                        self.replica_region[replica.0 as usize],
+                        &mut self.rng,
+                    );
+                    sched.after(delay, Ev::ReplicaReceive {
+                        replica: replica.0,
+                        req,
+                    });
+                }
+                Decision::Forward { req, peer, hops } => {
+                    let delay = self.cfg.net.sample_one_way(
+                        lb_region,
+                        self.lbs[peer.0 as usize].region(),
+                        &mut self.rng,
+                    );
+                    sched.after(delay, Ev::LbReceive {
+                        lb: peer.0,
+                        req,
+                        hops,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Marks one in-flight request of `client` finished and, if its stage
+    /// drained, schedules the next stage (or retires the client).
+    fn request_finished(&mut self, client_idx: usize, sched: &mut Scheduler<Ev>) {
+        {
+            let c = &mut self.clients[client_idx];
+            c.inflight = c.inflight.saturating_sub(1);
+            if c.finished || c.inflight > 0 {
+                return;
+            }
+            // Advance to the next stage, skipping empty programs.
+            if let Some(p) = c.spec.programs.get(c.program_idx) {
+                c.stage_idx += 1;
+                if c.stage_idx >= p.stages.len() {
+                    c.program_idx += 1;
+                    c.stage_idx = 0;
+                }
+            }
+            while c
+                .spec
+                .programs
+                .get(c.program_idx)
+                .is_some_and(|p| p.stages.is_empty())
+            {
+                c.program_idx += 1;
+            }
+            if c.spec.programs.get(c.program_idx).is_none() {
+                c.finished = true;
+            }
+        }
+        if self.clients[client_idx].finished {
+            self.active_clients -= 1;
+            if self.active_clients == 0 {
+                sched.stop();
+            }
+        } else {
+            sched.after(SimDuration::ZERO, Ev::IssueStage { client: client_idx });
+        }
+    }
+
+    fn apply_control_actions(
+        &mut self,
+        actions: Vec<ControlAction>,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for action in actions {
+            match action {
+                ControlAction::LbFailed(id) => {
+                    let region = self.lbs[id.0 as usize].region();
+                    self.dns.mark_unhealthy(Self::lb_endpoint(id.0, region));
+                    for (j, lb) in self.lbs.iter_mut().enumerate() {
+                        if j as u32 != id.0 {
+                            lb.set_peer_alive(id, false);
+                        }
+                    }
+                    // Requests stuck in the dead balancer's queue are
+                    // lost; their clients retry elsewhere.
+                    let lost = self.lbs[id.0 as usize].drain_queue();
+                    for req in lost {
+                        if let Some(&client) = self.req_client.get(&req.id.0) {
+                            sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
+                        }
+                    }
+                }
+                ControlAction::LbRecovered(id) => {
+                    let region = self.lbs[id.0 as usize].region();
+                    self.dns.mark_healthy(Self::lb_endpoint(id.0, region));
+                    for (j, lb) in self.lbs.iter_mut().enumerate() {
+                        if j as u32 != id.0 {
+                            lb.set_peer_alive(id, true);
+                        }
+                    }
+                }
+                ControlAction::Reassign { replica, from, to } => {
+                    self.lbs[from.0 as usize].remove_replica(replica);
+                    self.lbs[to.0 as usize].add_replica(replica);
+                    sched.at(now, Ev::LbDispatch { lb: to.0 });
+                }
+            }
+        }
+    }
+}
+
+impl World for Fabric {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::IssueStage { client } => {
+                let reqs = {
+                    let c = &self.clients[client];
+                    c.spec
+                        .programs
+                        .get(c.program_idx)
+                        .and_then(|p| p.stages.get(c.stage_idx))
+                        .cloned()
+                };
+                let Some(reqs) = reqs else {
+                    // Empty client (no programs at all).
+                    if !self.clients[client].finished {
+                        self.clients[client].finished = true;
+                        self.active_clients -= 1;
+                        if self.active_clients == 0 {
+                            sched.stop();
+                        }
+                    }
+                    return;
+                };
+                self.clients[client].inflight = reqs.len() as u32;
+                for req in reqs {
+                    self.issue_request(client, req, sched, now, true);
+                }
+            }
+            Ev::Retry { client, req } => {
+                self.issue_request(client, req, sched, now, false);
+            }
+            Ev::LbReceive { lb, req, hops } => {
+                if !self.lb_alive[lb as usize] {
+                    // Connection refused: the client retries via DNS.
+                    if let Some(&client) = self.req_client.get(&req.id.0) {
+                        sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
+                    }
+                    return;
+                }
+                self.lbs[lb as usize].submit(req, hops);
+                sched.at(now, Ev::LbDispatch { lb });
+            }
+            Ev::LbDispatch { lb } => {
+                if !self.lb_alive[lb as usize] {
+                    return;
+                }
+                let decisions = self.lbs[lb as usize].dispatch();
+                self.route_decisions(lb, decisions, sched);
+            }
+            Ev::ReplicaReceive { replica, req } => {
+                self.replicas[replica as usize].enqueue(req);
+                sched.at(now, Ev::ReplicaKick { replica });
+            }
+            Ev::ReplicaKick { replica } => {
+                let i = replica as usize;
+                if self.replica_stepping[i] {
+                    return;
+                }
+                loop {
+                    if self.replicas[i].is_idle() {
+                        return;
+                    }
+                    let out = self.replicas[i].step();
+                    if out.worked() {
+                        self.replica_stepping[i] = true;
+                        sched.after(out.duration, Ev::IterationDone {
+                            replica,
+                            first_tokens: out.first_tokens,
+                            completions: out.completions,
+                        });
+                        return;
+                    }
+                    // Head request can never fit: fail it and keep going.
+                    let Some(dropped) = self.replicas[i].pop_pending_head() else {
+                        return;
+                    };
+                    self.tracker.failure(dropped.id.0);
+                    if let Some(&lb) = self.req_lb.get(&dropped.id.0) {
+                        self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
+                    }
+                    if let Some(&client) = self.req_client.get(&dropped.id.0) {
+                        self.request_finished(client, sched);
+                    }
+                }
+            }
+            Ev::IterationDone {
+                replica,
+                first_tokens,
+                completions,
+            } => {
+                let i = replica as usize;
+                self.replica_stepping[i] = false;
+                let r_region = self.replica_region[i];
+                for id in first_tokens {
+                    if let Some(&client) = self.req_client.get(&id.0) {
+                        let delay = self.cfg.net.sample_one_way(
+                            r_region,
+                            self.clients[client].spec.region,
+                            &mut self.rng,
+                        );
+                        sched.after(delay, Ev::DeliverFirstToken { req: id });
+                    }
+                }
+                for c in completions {
+                    if let Some(&lb) = self.req_lb.get(&c.id.0) {
+                        self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
+                        sched.at(now, Ev::LbDispatch { lb });
+                    }
+                    if let Some(&client) = self.req_client.get(&c.id.0) {
+                        let delay = self.cfg.net.sample_one_way(
+                            r_region,
+                            self.clients[client].spec.region,
+                            &mut self.rng,
+                        );
+                        sched.after(delay, Ev::DeliverCompletion {
+                            client,
+                            completion: c,
+                        });
+                    }
+                }
+                sched.at(now, Ev::ReplicaKick { replica });
+            }
+            Ev::DeliverFirstToken { req } => {
+                self.tracker.first_token(req.0, now);
+            }
+            Ev::DeliverCompletion { client, completion } => {
+                self.tracker.completion(
+                    completion.id.0,
+                    now,
+                    u64::from(completion.generated_tokens),
+                    u64::from(completion.cached_prompt_tokens),
+                );
+                self.request_finished(client, sched);
+            }
+            Ev::ProbeTick => {
+                for (li, lb) in self.lbs.iter_mut().enumerate() {
+                    if !self.lb_alive[li] {
+                        continue;
+                    }
+                    for rid in lb.replica_ids() {
+                        let r = &self.replicas[rid.0 as usize];
+                        lb.on_replica_probe(
+                            rid,
+                            r.pending_len() as u32,
+                            r.running_len() as u32,
+                            r.kv_utilization(),
+                        );
+                        if let Some(state) = lb.replica_state(rid) {
+                            let p = &mut self.peak_outstanding[rid.0 as usize];
+                            *p = (*p).max(state.outstanding);
+                        }
+                    }
+                }
+                for (ri, r) in self.replicas.iter().enumerate() {
+                    self.kv_series[ri].record(now, r.kv_utilization());
+                }
+                if self.forward_enabled {
+                    let statuses: Vec<(u32, Region, u32, u32)> = self
+                        .lbs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| self.lb_alive[*i])
+                        .map(|(i, lb)| {
+                            let (avail, qlen) = lb.status();
+                            (i as u32, lb.region(), avail, qlen)
+                        })
+                        .collect();
+                    for (to, lb) in self.lbs.iter().enumerate() {
+                        if !self.lb_alive[to] {
+                            continue;
+                        }
+                        for &(from, from_region, avail, qlen) in &statuses {
+                            if from == to as u32 {
+                                continue;
+                            }
+                            let delay = self.cfg.net.sample_one_way(
+                                lb.region(),
+                                from_region,
+                                &mut self.rng,
+                            );
+                            sched.after(delay, Ev::PeerStatus {
+                                to: to as u32,
+                                from,
+                                avail,
+                                qlen,
+                            });
+                        }
+                    }
+                }
+                for li in 0..self.lbs.len() {
+                    if self.lb_alive[li] {
+                        sched.at(now, Ev::LbDispatch { lb: li as u32 });
+                    }
+                }
+                sched.after(self.cfg.probe_interval, Ev::ProbeTick);
+            }
+            Ev::PeerStatus {
+                to,
+                from,
+                avail,
+                qlen,
+            } => {
+                if self.lb_alive[to as usize] {
+                    self.lbs[to as usize].on_peer_probe(LbId(from), avail, qlen);
+                    sched.at(now, Ev::LbDispatch { lb: to });
+                }
+            }
+            Ev::HeartbeatTick => {
+                for li in 0..self.lbs.len() {
+                    if self.lb_alive[li] {
+                        let actions = self.controller.heartbeat(LbId(li as u32), now);
+                        self.apply_control_actions(actions, now, sched);
+                    }
+                }
+                sched.after(self.cfg.heartbeat_interval, Ev::HeartbeatTick);
+            }
+            Ev::ControllerTick => {
+                let actions = self.controller.check(now);
+                self.apply_control_actions(actions, now, sched);
+                sched.after(self.cfg.heartbeat_interval, Ev::ControllerTick);
+            }
+            Ev::Fault { lb, down } => {
+                self.lb_alive[lb as usize] = !down;
+                if down {
+                    // A crashed balancer loses its queue immediately; the
+                    // controller notices the silence within its timeout.
+                    let lost = self.lbs[lb as usize].drain_queue();
+                    for req in lost {
+                        if let Some(&client) = self.req_client.get(&req.id.0) {
+                            sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one scenario to completion (all clients done, or the deadline).
+pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
+    let deployment = scenario
+        .deployment_override
+        .unwrap_or_else(|| scenario.system.deployment());
+
+    // Decide balancer placement.
+    let mut lb_regions: Vec<Region> = Vec::new();
+    match deployment {
+        Deployment::Centralized { lb_region, .. } => lb_regions.push(lb_region),
+        Deployment::PerRegion { .. } => {
+            for p in &scenario.replicas {
+                if !lb_regions.contains(&p.region) {
+                    lb_regions.push(p.region);
+                }
+            }
+            for c in &scenario.clients {
+                if !lb_regions.contains(&c.region) {
+                    lb_regions.push(c.region);
+                }
+            }
+        }
+    }
+
+    let mut lbs: Vec<RegionalBalancer> = Vec::new();
+    let mut dns = DnsResolver::new(cfg.net.clone());
+    let mut controller = Controller::new(cfg.net.clone(), cfg.controller_timeout);
+    let forward_enabled = matches!(deployment, Deployment::PerRegion { forward: true, .. });
+    for (i, &region) in lb_regions.iter().enumerate() {
+        let bcfg = match deployment {
+            Deployment::Centralized { policy, push, .. } => BalancerConfig {
+                region,
+                policy,
+                push_mode: push,
+                tau: 0,
+                trie_max_tokens: cfg.trie_max_tokens,
+                affinity_threshold: cfg.affinity_threshold,
+                max_hops: 0,
+                constraint: RoutingConstraint::Unrestricted,
+            },
+            Deployment::PerRegion {
+                policy,
+                push,
+                forward,
+                tau,
+                constraint,
+            } => BalancerConfig {
+                region,
+                policy,
+                push_mode: push,
+                tau,
+                trie_max_tokens: cfg.trie_max_tokens,
+                affinity_threshold: cfg.affinity_threshold,
+                max_hops: u8::from(forward),
+                constraint,
+            },
+        };
+        lbs.push(RegionalBalancer::new(LbId(i as u32), bcfg));
+        dns.advertise(Endpoint {
+            region,
+            lb_id: i as u32,
+        });
+        controller.register_lb(LbId(i as u32), region);
+    }
+    if forward_enabled {
+        for i in 0..lbs.len() {
+            for j in 0..lbs.len() {
+                if i != j {
+                    let (jid, jregion) = (LbId(j as u32), lbs[j].region());
+                    lbs[i].add_peer(jid, jregion);
+                }
+            }
+        }
+    }
+
+    // Replicas attach to the balancer of their region (or the single
+    // centralized balancer).
+    let mut replicas: Vec<Replica> = Vec::new();
+    let mut replica_region: Vec<Region> = Vec::new();
+    for (i, p) in scenario.replicas.iter().enumerate() {
+        let rid = ReplicaId(i as u32);
+        replicas.push(Replica::new(rid, p.profile));
+        replica_region.push(p.region);
+        let home = match deployment {
+            Deployment::Centralized { .. } => 0usize,
+            Deployment::PerRegion { .. } => lb_regions
+                .iter()
+                .position(|r| *r == p.region)
+                .expect("replica region has a balancer"),
+        };
+        lbs[home].add_replica(rid);
+        controller.register_replica(rid, LbId(home as u32));
+    }
+
+    let n_replicas = replicas.len();
+    let active_clients = scenario.clients.len();
+    let mut world = Fabric {
+        cfg: cfg.clone(),
+        rng: DetRng::for_component(cfg.seed, "fabric/net"),
+        lb_alive: vec![true; lbs.len()],
+        lbs,
+        replicas,
+        replica_region,
+        replica_stepping: vec![false; n_replicas],
+        clients: scenario
+            .clients
+            .iter()
+            .map(|spec| ClientState {
+                spec: spec.clone(),
+                program_idx: 0,
+                stage_idx: 0,
+                inflight: 0,
+                finished: false,
+            })
+            .collect(),
+        dns,
+        controller,
+        tracker: RequestTracker::new(),
+        req_client: HashMap::new(),
+        req_lb: HashMap::new(),
+        kv_series: (0..n_replicas)
+            .map(|i| TimeSeries::new(format!("replica-{i}/kv")))
+            .collect(),
+        peak_outstanding: vec![0; n_replicas],
+        active_clients,
+        forward_enabled,
+    };
+
+    let mut engine: Engine<Ev> = Engine::new();
+    for c in 0..world.clients.len() {
+        engine.schedule(SimTime::ZERO, Ev::IssueStage { client: c });
+    }
+    engine.schedule(SimTime::ZERO, Ev::ProbeTick);
+    engine.schedule(SimTime::ZERO, Ev::HeartbeatTick);
+    engine.schedule(SimTime::ZERO + cfg.heartbeat_interval, Ev::ControllerTick);
+    for f in &scenario.faults {
+        engine.schedule(f.at, Ev::Fault {
+            lb: f.lb_index,
+            down: f.down,
+        });
+    }
+
+    let stats = engine.run_until(&mut world, cfg.deadline);
+    let end = stats.end_time;
+
+    let report = world.tracker.report(end);
+    let replica_stats: Vec<ReplicaStats> = world.replicas.iter().map(|r| r.stats()).collect();
+    let prompt_tokens: u64 = replica_stats.iter().map(|s| s.prompt_tokens).sum();
+    let cached_tokens: u64 = replica_stats.iter().map(|s| s.cached_prompt_tokens).sum();
+    let forwarded: u64 = world.lbs.iter().map(|l| l.stats().forwarded).sum();
+
+    let mut dispatch_counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for lb in &world.lbs {
+        for (rid, n) in lb.dispatch_counts() {
+            *dispatch_counts.entry(rid.0).or_insert(0) += n;
+        }
+    }
+    let imbalance = |vals: Vec<f64>| -> f64 {
+        let max = vals.iter().copied().fold(f64::MIN, f64::max);
+        let min = vals.iter().copied().fold(f64::MAX, f64::min);
+        if vals.len() < 2 || min <= 0.0 {
+            1.0
+        } else {
+            max / min
+        }
+    };
+    let dispatch_imbalance = imbalance(
+        (0..n_replicas)
+            .map(|i| *dispatch_counts.get(&(i as u32)).unwrap_or(&0) as f64)
+            .collect(),
+    );
+    let outstanding_imbalance = imbalance(
+        world
+            .peak_outstanding
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect(),
+    );
+    let peak_lb_queue = world
+        .lbs
+        .iter()
+        .map(|l| l.stats().peak_queue)
+        .max()
+        .unwrap_or(0);
+    let series_refs: Vec<&TimeSeries> = world.kv_series.iter().collect();
+    let kv_peak_gap = peak_gap(&series_refs);
+
+    RunSummary {
+        system: scenario.system,
+        report,
+        end_time: end,
+        replica_hit_rate: if prompt_tokens > 0 {
+            cached_tokens as f64 / prompt_tokens as f64
+        } else {
+            0.0
+        },
+        replica_stats,
+        forwarded,
+        dispatch_imbalance,
+        outstanding_imbalance,
+        peak_outstanding: world.peak_outstanding,
+        peak_lb_queue,
+        kv_peak_gap,
+        kv_series: world.kv_series,
+    }
+}

@@ -1,0 +1,58 @@
+//! # SkyWalker
+//!
+//! A from-scratch Rust reproduction of *SkyWalker: A Locality-Aware
+//! Cross-Region Load Balancer for LLM Inference* (Xia et al., EuroSys
+//! '26) — the load balancer itself plus every substrate its evaluation
+//! depends on.
+//!
+//! ## Crate map
+//!
+//! | Crate | Provides |
+//! |---|---|
+//! | `skywalker-sim` | deterministic discrete-event engine, seeded RNG |
+//! | `skywalker-net` | regions, WAN latency model, DNS, wire codec |
+//! | `skywalker-replica` | continuous-batching replica with radix KV cache |
+//! | `skywalker-workload` | WildChat/Arena/ToT-style trace generators |
+//! | `skywalker-core` | the balancer: policies, selective pushing, trie, ring, controller |
+//! | `skywalker-cost` | reserved/on-demand provisioning cost model |
+//! | `skywalker-metrics` | histograms, request tracking, time series |
+//! | `skywalker-live` | real TCP balancer/replica servers on localhost |
+//! | this crate | the [`fabric`] tying everything into runnable scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skywalker::fabric::{run_scenario, FabricConfig, SystemKind};
+//! use skywalker::scenarios::{fig8_scenario, Workload};
+//!
+//! // A small ChatBot Arena run on SkyWalker's deployment shape.
+//! let scenario = fig8_scenario(SystemKind::SkyWalker, Workload::Arena, 0.05, 7);
+//! let summary = run_scenario(&scenario, &FabricConfig::default());
+//! assert!(summary.report.completed > 0);
+//! println!(
+//!     "throughput: {:.0} tok/s, p50 TTFT: {:.3}s",
+//!     summary.report.throughput_tps, summary.report.ttft.p50
+//! );
+//! ```
+
+pub mod fabric;
+pub mod scenarios;
+
+pub use fabric::{
+    run_scenario, Deployment, FabricConfig, FaultEvent, ReplicaPlacement, RunSummary,
+    Scenario, SystemKind,
+};
+pub use scenarios::{
+    balanced_fleet, fig10_scenario, fig8_scenario, fig9_scenario, l4_fleet,
+    unbalanced_fleet, workload_clients, Workload, REGIONS,
+};
+
+// Re-export the member crates under stable names so downstream users can
+// depend on `skywalker` alone.
+pub use skywalker_core as core;
+pub use skywalker_cost as cost;
+pub use skywalker_metrics as metrics;
+pub use skywalker_net as net;
+pub use skywalker_replica as replica;
+pub use skywalker_sim as sim;
+pub use skywalker_workload as workload;

@@ -1,0 +1,276 @@
+//! Ready-made scenarios matching the paper's experiment setups (§5.1).
+//!
+//! Every macrobenchmark uses L4 replicas spread over the three-region
+//! layout (US, Europe, Asia) with closed-loop clients in all three
+//! regions. The four workloads are:
+//!
+//! - **ChatBot Arena**: equal client counts per region (the paper runs 80
+//!   ongoing conversations per region).
+//! - **WildChat**: unequal counts (40 US / 30 EU / 30 Asia), each region
+//!   replaying conversations of its own geographic users.
+//! - **Tree of Thoughts (ToT)**: 2-branch depth-4 trees (15 requests),
+//!   40/20/20 clients.
+//! - **Mixed Tree**: the US runs two clients of heavy 4-branch trees (85
+//!   requests) while other regions keep 2-branch traffic — the
+//!   heterogeneous-program stressor.
+
+use skywalker_net::Region;
+use skywalker_replica::GpuProfile;
+use skywalker_workload::{
+    generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig,
+    IdGen, TotConfig,
+};
+
+use crate::fabric::{ReplicaPlacement, Scenario, SystemKind};
+
+/// The paper's three serving regions.
+pub const REGIONS: [Region; 3] = Region::PAPER_TRIO;
+
+/// An L4 fleet with the given per-region replica counts.
+pub fn l4_fleet(counts: &[(Region, u32)]) -> Vec<ReplicaPlacement> {
+    let mut fleet = Vec::new();
+    for &(region, n) in counts {
+        for _ in 0..n {
+            fleet.push(ReplicaPlacement {
+                region,
+                profile: GpuProfile::L4_LLAMA_8B,
+            });
+        }
+    }
+    fleet
+}
+
+/// A balanced 12-replica fleet (4 per region), the ToT configuration.
+pub fn balanced_fleet() -> Vec<ReplicaPlacement> {
+    l4_fleet(&[
+        (REGIONS[0], 4),
+        (REGIONS[1], 4),
+        (REGIONS[2], 4),
+    ])
+}
+
+/// The unbalanced fleet variant (3 US / 2 EU / 3 Asia + 4 extra US = the
+/// paper also tests 3/3/2; we expose the knob).
+pub fn unbalanced_fleet() -> Vec<ReplicaPlacement> {
+    l4_fleet(&[
+        (REGIONS[0], 3),
+        (REGIONS[1], 2),
+        (REGIONS[2], 3),
+    ])
+}
+
+/// The four macrobenchmark workloads of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// ChatBot Arena-style conversations, equal clients per region.
+    Arena,
+    /// WildChat-style conversations, 40/30/30 clients.
+    WildChat,
+    /// 2-branch Tree of Thoughts, 40/20/20 clients.
+    Tot,
+    /// Mixed: US sends 4-branch trees, others 2-branch.
+    MixedTree,
+}
+
+impl Workload {
+    /// All four, in the paper's column order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Arena,
+        Workload::WildChat,
+        Workload::Tot,
+        Workload::MixedTree,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Arena => "ChatBot Arena",
+            Workload::WildChat => "WildChat",
+            Workload::Tot => "ToT",
+            Workload::MixedTree => "Mixed Tree",
+        }
+    }
+}
+
+/// Builds the client population for a workload, scaled by `scale`
+/// (1.0 = the paper's client counts).
+pub fn workload_clients(workload: Workload, scale: f64, seed: u64) -> Vec<ClientSpec> {
+    let mut ids = IdGen::new();
+    let n = |base: u32| ((f64::from(base) * scale).round() as u32).max(1);
+    match workload {
+        Workload::Arena => generate_conversation_clients(
+            &ConversationConfig::arena(),
+            &[
+                (REGIONS[0], n(80)),
+                (REGIONS[1], n(80)),
+                (REGIONS[2], n(80)),
+            ],
+            seed,
+            &mut ids,
+        ),
+        Workload::WildChat => generate_conversation_clients(
+            &ConversationConfig::wildchat(),
+            &[
+                (REGIONS[0], n(40)),
+                (REGIONS[1], n(30)),
+                (REGIONS[2], n(30)),
+            ],
+            seed,
+            &mut ids,
+        ),
+        Workload::Tot => generate_tot_clients(
+            &TotConfig::branch2(),
+            &[
+                (REGIONS[0], n(40)),
+                (REGIONS[1], n(20)),
+                (REGIONS[2], n(20)),
+            ],
+            2,
+            seed,
+            &mut ids,
+        ),
+        Workload::MixedTree => {
+            // US: two clients of heavy 4-branch trees; EU/Asia: 2-branch.
+            let mut clients = generate_tot_clients(
+                &TotConfig::branch4(),
+                &[(REGIONS[0], 2)],
+                2,
+                seed,
+                &mut ids,
+            );
+            clients.extend(generate_tot_clients(
+                &TotConfig::branch2(),
+                &[(REGIONS[1], n(20)), (REGIONS[2], n(20))],
+                2,
+                seed ^ 0xBEEF,
+                &mut ids,
+            ));
+            clients
+        }
+    }
+}
+
+/// One cell of the Fig. 8 grid: a system running a workload on the
+/// standard fleet.
+pub fn fig8_scenario(
+    system: SystemKind,
+    workload: Workload,
+    scale: f64,
+    seed: u64,
+) -> Scenario {
+    let fleet = match workload {
+        Workload::Tot | Workload::MixedTree => balanced_fleet(),
+        _ => unbalanced_fleet(),
+    };
+    Scenario::new(system, fleet, workload_clients(workload, scale, seed))
+}
+
+/// The Fig. 9 single-region microbenchmark: everything co-located in one
+/// region, ToT branch-2 traffic, `clients` closed-loop clients against
+/// `replicas` replicas.
+pub fn fig9_scenario(system: SystemKind, replicas: u32, clients: u32, seed: u64) -> Scenario {
+    let region = REGIONS[0];
+    let mut ids = IdGen::new();
+    let clients = generate_tot_clients(
+        &TotConfig::branch2(),
+        &[(region, clients)],
+        2,
+        seed,
+        &mut ids,
+    );
+    Scenario::new(system, l4_fleet(&[(region, replicas)]), clients)
+}
+
+/// The Fig. 10 diurnal/imbalance experiment: regionally skewed clients
+/// (120 US / 40 EU / 40 Asia at scale 1.0) over an evenly distributed
+/// fleet of `total_replicas`.
+pub fn fig10_scenario(
+    system: SystemKind,
+    total_replicas: u32,
+    scale: f64,
+    seed: u64,
+) -> Scenario {
+    let per = total_replicas / 3;
+    let rem = total_replicas % 3;
+    let fleet = l4_fleet(&[
+        (REGIONS[0], per + u32::from(rem > 0)),
+        (REGIONS[1], per + u32::from(rem > 1)),
+        (REGIONS[2], per),
+    ]);
+    let mut ids = IdGen::new();
+    let n = |base: u32| ((f64::from(base) * scale).round() as u32).max(1);
+    let clients = generate_conversation_clients(
+        &ConversationConfig::wildchat(),
+        &[
+            (REGIONS[0], n(120)),
+            (REGIONS[1], n(40)),
+            (REGIONS[2], n(40)),
+        ],
+        seed,
+        &mut ids,
+    );
+    Scenario::new(system, fleet, clients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_builders_place_replicas() {
+        assert_eq!(balanced_fleet().len(), 12);
+        assert_eq!(unbalanced_fleet().len(), 8);
+        let fleet = l4_fleet(&[(REGIONS[0], 2), (REGIONS[2], 1)]);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet[0].region, REGIONS[0]);
+        assert_eq!(fleet[2].region, REGIONS[2]);
+    }
+
+    #[test]
+    fn workload_client_counts_match_paper_at_full_scale() {
+        let arena = workload_clients(Workload::Arena, 1.0, 1);
+        assert_eq!(arena.len(), 240, "80 clients per region");
+        let wildchat = workload_clients(Workload::WildChat, 1.0, 1);
+        assert_eq!(wildchat.len(), 100, "40 + 30 + 30");
+        let tot = workload_clients(Workload::Tot, 1.0, 1);
+        assert_eq!(tot.len(), 80, "40 + 20 + 20");
+        // ToT: 2 trees of 15 requests each per client.
+        assert!(tot.iter().all(|c| c.total_requests() == 30));
+        let mixed = workload_clients(Workload::MixedTree, 1.0, 1);
+        // 2 heavy US clients with 85-request trees.
+        let heavy: Vec<_> = mixed
+            .iter()
+            .filter(|c| c.total_requests() == 170)
+            .collect();
+        assert_eq!(heavy.len(), 2);
+        assert!(heavy.iter().all(|c| c.region == REGIONS[0]));
+    }
+
+    #[test]
+    fn scale_shrinks_population_with_floor() {
+        let small = workload_clients(Workload::Arena, 0.01, 1);
+        assert_eq!(small.len(), 3, "floor of one client per region");
+    }
+
+    #[test]
+    fn fig9_is_single_region() {
+        let s = fig9_scenario(SystemKind::SkyWalker, 4, 10, 1);
+        assert_eq!(s.replicas.len(), 4);
+        assert!(s.replicas.iter().all(|r| r.region == REGIONS[0]));
+        assert!(s.clients.iter().all(|c| c.region == REGIONS[0]));
+    }
+
+    #[test]
+    fn fig10_fleet_split_covers_remainders() {
+        for n in [3u32, 4, 5, 6, 7] {
+            let s = fig10_scenario(SystemKind::SkyWalker, n, 0.1, 1);
+            assert_eq!(s.replicas.len(), n as usize, "total {n}");
+        }
+    }
+
+    #[test]
+    fn workload_labels_stable() {
+        assert_eq!(Workload::Arena.label(), "ChatBot Arena");
+        assert_eq!(Workload::ALL.len(), 4);
+    }
+}

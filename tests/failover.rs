@@ -1,0 +1,134 @@
+//! Failure-recovery drills across the whole stack (§4.2): a balancer
+//! crash mid-run must not lose requests, and recovery must hand replicas
+//! back.
+
+use skywalker::sim::SimTime;
+use skywalker::{
+    balanced_fleet, run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario,
+    SystemKind, Workload,
+};
+
+fn drill(faults: Vec<FaultEvent>, seed: u64) -> (u64, u64, u64, usize) {
+    let clients = workload_clients(Workload::WildChat, 0.1, seed);
+    let expected: usize = clients.iter().map(|c| c.total_requests()).sum();
+    let mut scenario = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
+    scenario.faults = faults;
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    (s.report.completed, s.report.failed, s.report.in_flight, expected)
+}
+
+#[test]
+fn crash_and_recovery_preserves_every_request() {
+    let (completed, failed, in_flight, expected) = drill(
+        vec![
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                lb_index: 1,
+                down: true,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(40),
+                lb_index: 1,
+                down: false,
+            },
+        ],
+        21,
+    );
+    assert_eq!(
+        (completed + failed + in_flight) as usize,
+        expected,
+        "requests vanished during failover"
+    );
+    assert_eq!(in_flight, 0, "run must drain after recovery");
+    assert!(
+        completed as usize >= expected * 9 / 10,
+        "most requests must complete despite the crash ({completed}/{expected})"
+    );
+}
+
+#[test]
+fn permanent_crash_still_drains_via_rehoming() {
+    // The balancer never comes back; its replicas are re-homed to the
+    // nearest surviving balancer, which serves them as temporarily local.
+    let (completed, failed, in_flight, expected) = drill(
+        vec![FaultEvent {
+            at: SimTime::from_secs(10),
+            lb_index: 2,
+            down: true,
+        }],
+        23,
+    );
+    assert_eq!((completed + failed + in_flight) as usize, expected);
+    assert_eq!(in_flight, 0);
+    assert!(completed as usize >= expected * 9 / 10);
+}
+
+#[test]
+fn double_crash_tolerated() {
+    let (completed, _failed, in_flight, expected) = drill(
+        vec![
+            FaultEvent {
+                at: SimTime::from_secs(8),
+                lb_index: 0,
+                down: true,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(12),
+                lb_index: 1,
+                down: true,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(50),
+                lb_index: 0,
+                down: false,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(55),
+                lb_index: 1,
+                down: false,
+            },
+        ],
+        27,
+    );
+    assert_eq!(in_flight, 0);
+    assert!(
+        completed as usize >= expected * 8 / 10,
+        "completed {completed} of {expected}"
+    );
+}
+
+#[test]
+fn faulted_run_matches_healthy_totals() {
+    let clients = workload_clients(Workload::WildChat, 0.1, 29);
+    let healthy = run_scenario(
+        &Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients.clone()),
+        &FabricConfig::default(),
+    );
+    let mut faulted_scenario =
+        Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
+    faulted_scenario.faults = vec![
+        FaultEvent {
+            at: SimTime::from_secs(15),
+            lb_index: 1,
+            down: true,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(45),
+            lb_index: 1,
+            down: false,
+        },
+    ];
+    let faulted = run_scenario(&faulted_scenario, &FabricConfig::default());
+    assert_eq!(
+        healthy.report.completed + healthy.report.failed,
+        faulted.report.completed + faulted.report.failed,
+    );
+    // Retried requests pay at least the retry delay, so the faulted run's
+    // tail latency cannot beat the healthy run's by more than noise.
+    assert!(
+        faulted.report.e2e.max >= healthy.report.e2e.p50,
+        "faulted max {:.2}s vs healthy p50 {:.2}s",
+        faulted.report.e2e.max,
+        healthy.report.e2e.p50
+    );
+}

@@ -1,0 +1,146 @@
+//! Live-mode loopback: the full TCP topology (clients → balancers →
+//! replicas, with LB-to-LB peering) on localhost, exercising the same
+//! core logic the simulator verifies — but through real sockets and real
+//! threads.
+
+use std::time::Duration;
+
+use skywalker::core::{BalancerConfig, LbId};
+use skywalker::net::Region;
+use skywalker::replica::{GpuProfile, ReplicaId, Request};
+use skywalker_live::{BalancerServer, LiveClient, ReplicaServer};
+
+const FAST: f64 = 0.001; // 1000× faster than real time
+
+#[test]
+fn three_region_topology_serves_and_forwards() {
+    // Three balancers; only two have replicas. Traffic to the empty one
+    // must forward and complete.
+    let replicas: Vec<ReplicaServer> = (0..4)
+        .map(|i| ReplicaServer::spawn(ReplicaId(i), GpuProfile::L4_LLAMA_8B, FAST).unwrap())
+        .collect();
+    let regions = [Region::UsEast, Region::EuWest, Region::ApNortheast];
+    let lbs: Vec<BalancerServer> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            BalancerServer::spawn(
+                LbId(i as u32),
+                BalancerConfig::skywalker(*r),
+                Duration::from_millis(10),
+            )
+            .unwrap()
+        })
+        .collect();
+    // us gets replicas 0-1, eu gets 2-3, ap gets none.
+    lbs[0].attach_replica(ReplicaId(0), replicas[0].addr()).unwrap();
+    lbs[0].attach_replica(ReplicaId(1), replicas[1].addr()).unwrap();
+    lbs[1].attach_replica(ReplicaId(2), replicas[2].addr()).unwrap();
+    lbs[1].attach_replica(ReplicaId(3), replicas[3].addr()).unwrap();
+    for i in 0..3 {
+        for j in 0..3 {
+            if i != j {
+                lbs[i]
+                    .connect_peer(LbId(j as u32), regions[j], lbs[j].addr())
+                    .unwrap();
+            }
+        }
+    }
+    std::thread::sleep(Duration::from_millis(120)); // let probes settle
+
+    // Local request to a balancer that has replicas.
+    let mut us_client = LiveClient::connect(lbs[0].addr()).unwrap();
+    let out = us_client
+        .run(&Request::new(1, "us-user", (0..128).collect(), 16))
+        .unwrap();
+    assert_eq!(out.generated, 16);
+
+    // Request to the replica-less balancer: must forward, not fail.
+    let mut ap_client = LiveClient::connect(lbs[2].addr()).unwrap();
+    let out = ap_client
+        .run(&Request::new(2, "ap-user", (500..700).collect(), 8))
+        .unwrap();
+    assert_eq!(out.generated, 8);
+    assert!(lbs[2].forwarded() >= 1);
+
+    for lb in lbs {
+        lb.shutdown();
+    }
+    for r in replicas {
+        r.shutdown();
+    }
+}
+
+#[test]
+fn session_affinity_warms_caches_over_the_wire() {
+    let r0 = ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, FAST).unwrap();
+    let r1 = ReplicaServer::spawn(ReplicaId(1), GpuProfile::L4_LLAMA_8B, FAST).unwrap();
+    let lb = BalancerServer::spawn(
+        LbId(0),
+        BalancerConfig::skywalker_ch(Region::UsEast),
+        Duration::from_millis(10),
+    )
+    .unwrap();
+    lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+    lb.attach_replica(ReplicaId(1), r1.addr()).unwrap();
+
+    // A three-turn "conversation": each turn extends the previous prompt.
+    let mut client = LiveClient::connect(lb.addr()).unwrap();
+    let mut prompt: Vec<u32> = (0..200).collect();
+    let mut cached_last = 0;
+    for (i, turn) in (0..3u64).enumerate() {
+        let out = client
+            .run(&Request::new(10 + turn, "user-7/conv-0", prompt.clone(), 8))
+            .unwrap();
+        if i > 0 {
+            assert!(
+                out.cached_prompt_tokens > cached_last,
+                "turn {i} cached {} tokens",
+                out.cached_prompt_tokens
+            );
+        }
+        cached_last = out.cached_prompt_tokens;
+        prompt.extend((0..50).map(|k| 10_000 + turn as u32 * 100 + k));
+    }
+
+    lb.shutdown();
+    r0.shutdown();
+    r1.shutdown();
+}
+
+#[test]
+fn balancer_queues_when_replicas_are_full() {
+    // One tiny-capacity replica; a slow long request occupies it while a
+    // burst arrives. With SP-P the burst waits at the balancer and all
+    // requests still complete.
+    let r0 = ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, FAST).unwrap();
+    let lb = BalancerServer::spawn(
+        LbId(0),
+        BalancerConfig::skywalker(Region::UsEast),
+        Duration::from_millis(5),
+    )
+    .unwrap();
+    lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+
+    let addr = lb.addr();
+    let handles: Vec<_> = (0..6u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = LiveClient::connect(addr).unwrap();
+                c.run(&Request::new(
+                    100 + i,
+                    format!("u{i}"),
+                    vec![i as u32; 4000],
+                    64,
+                ))
+                .unwrap()
+                .generated
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 64);
+    }
+    lb.shutdown();
+    r0.shutdown();
+}

@@ -1,0 +1,116 @@
+//! Cross-crate checks of the paper's two mechanism-level claims: the
+//! selective-pushing ordering (Fig. 9) and policy behaviour under
+//! heterogeneous ToT traffic (Fig. 8d).
+
+use skywalker::fabric::Deployment;
+use skywalker::{fig9_scenario, run_scenario, FabricConfig, SystemKind};
+use skywalker::core::{PolicyKind, PushMode, RoutingConstraint};
+use skywalker::{fig8_scenario, Workload};
+
+fn fig9_run(push: PushMode, clients: u32) -> skywalker::RunSummary {
+    let scenario = fig9_scenario(SystemKind::SglRouter, 4, clients, 33).with_deployment(
+        Deployment::PerRegion {
+            policy: PolicyKind::CacheAware,
+            push,
+            forward: false,
+            tau: 4,
+            constraint: RoutingConstraint::Unrestricted,
+        },
+    );
+    run_scenario(&scenario, &FabricConfig::default())
+}
+
+#[test]
+fn sp_p_holds_work_at_the_balancer_instead_of_replica_queues() {
+    // The structural difference under saturation: BP never queues at the
+    // balancer (everything piles into replica pending queues), SP-P does
+    // the opposite.
+    let bp = fig9_run(PushMode::Blind, 100);
+    let spp = fig9_run(PushMode::Pending, 100);
+    // BP drains its queue in the same event it fills; SP-P accumulates a
+    // real backlog while every replica reports a full batch.
+    assert!(
+        spp.peak_lb_queue > 4 * bp.peak_lb_queue.max(1),
+        "SP-P must hold overflow at the LB under saturation ({} vs {})",
+        spp.peak_lb_queue,
+        bp.peak_lb_queue
+    );
+    // And SP-P must not pay for that with median latency.
+    assert!(
+        spp.report.ttft.p50 <= bp.report.ttft.p50 * 1.10,
+        "SP-P p50 {:.2}s vs BP p50 {:.2}s",
+        spp.report.ttft.p50,
+        bp.report.ttft.p50
+    );
+    assert!(
+        spp.report.throughput_tps >= bp.report.throughput_tps * 0.85,
+        "SP-P must stay within throughput noise ({:.0} vs {:.0})",
+        spp.report.throughput_tps,
+        bp.report.throughput_tps
+    );
+}
+
+#[test]
+fn sp_p_beats_fixed_outstanding_cap_on_throughput() {
+    // An over-conservative cap leaves replicas idle; SP-P adapts.
+    let spo = fig9_run(PushMode::Outstanding { max: 2 }, 24);
+    let spp = fig9_run(PushMode::Pending, 24);
+    assert!(
+        spp.report.throughput_tps > spo.report.throughput_tps,
+        "SP-P {:.0} tok/s vs SP-O(2) {:.0} tok/s",
+        spp.report.throughput_tps,
+        spo.report.throughput_tps
+    );
+}
+
+#[test]
+fn blind_pushing_overcommits_replicas() {
+    // BP's worst replica carries far more outstanding work than SP-P
+    // allows anywhere (SP-P caps outstanding near the admissible batch).
+    let bp = fig9_run(PushMode::Blind, 100);
+    let spp = fig9_run(PushMode::Pending, 100);
+    let bp_worst = bp.peak_outstanding.iter().copied().max().unwrap_or(0);
+    let spp_worst = spp.peak_outstanding.iter().copied().max().unwrap_or(0);
+    assert!(
+        bp_worst > spp_worst,
+        "BP worst replica {bp_worst} outstanding vs SP-P {spp_worst}"
+    );
+}
+
+#[test]
+fn mixed_trees_punish_pure_consistent_hashing() {
+    // Fig. 8d: heavy 4-branch trees under CH overload the owning replica.
+    let ch = run_scenario(
+        &fig8_scenario(SystemKind::ConsistentHash, Workload::MixedTree, 0.15, 35),
+        &FabricConfig::default(),
+    );
+    let sw = run_scenario(
+        &fig8_scenario(SystemKind::SkyWalker, Workload::MixedTree, 0.15, 35),
+        &FabricConfig::default(),
+    );
+    assert!(
+        sw.report.e2e.p90 <= ch.report.e2e.p90,
+        "SkyWalker p90 E2E {:.2}s vs CH {:.2}s",
+        sw.report.e2e.p90,
+        ch.report.e2e.p90
+    );
+}
+
+#[test]
+fn uniform_trees_let_ch_match_skywalker() {
+    // Fig. 8c: on uniform ToT, CH's whole-tree affinity is near optimal —
+    // SkyWalker need not win, but must stay within a few percent.
+    let ch = run_scenario(
+        &fig8_scenario(SystemKind::SkyWalkerCh, Workload::Tot, 0.15, 37),
+        &FabricConfig::default(),
+    );
+    let sw = run_scenario(
+        &fig8_scenario(SystemKind::SkyWalker, Workload::Tot, 0.15, 37),
+        &FabricConfig::default(),
+    );
+    let ratio = sw.report.throughput_tps / ch.report.throughput_tps;
+    assert!(
+        ratio > 0.85,
+        "SkyWalker must stay competitive on uniform trees (ratio {ratio:.2})"
+    );
+}
