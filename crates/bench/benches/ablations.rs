@@ -11,11 +11,11 @@
 //!    fleet under SP-P (hardware-agnostic) still balances.
 
 use skywalker::fabric::Deployment;
-use skywalker::{
-    fig10_scenario, fig9_scenario, run_scenario, FabricConfig, ReplicaPlacement,
-    Scenario, SystemKind, Workload,
-};
 use skywalker::scenarios::workload_clients;
+use skywalker::{
+    fig10_scenario, fig9_scenario, run_scenario, FabricConfig, ReplicaPlacement, Scenario,
+    SystemKind, Workload,
+};
 use skywalker_bench::{f, header, pct, row};
 use skywalker_core::{PolicyKind, PushMode, RoutingConstraint};
 use skywalker_net::Region;
@@ -76,7 +76,13 @@ fn tau_sweep() {
 
 fn threshold_sweep() {
     println!("# Ablation 3 — prefix-affinity threshold (paper: explore below 50%)\n");
-    header(&["threshold", "tok/s", "TTFT p90", "hit rate", "outstanding imbalance"]);
+    header(&[
+        "threshold",
+        "tok/s",
+        "TTFT p90",
+        "hit rate",
+        "outstanding imbalance",
+    ]);
     for threshold in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let cfg = FabricConfig {
             affinity_threshold: threshold,

@@ -7,9 +7,7 @@
 //!     because equal request *counts* are nothing like equal token
 //!     *footprints*.
 
-use skywalker::{
-    run_scenario, FabricConfig, ReplicaPlacement, Scenario, SystemKind,
-};
+use skywalker::{run_scenario, FabricConfig, ReplicaPlacement, Scenario, SystemKind};
 use skywalker_bench::{f, header, pct, ratio, row};
 use skywalker_net::Region;
 use skywalker_replica::GpuProfile;
@@ -82,14 +80,11 @@ fn main() {
     ]);
     row(&[
         "requests per replica (RR)".into(),
-        format!(
-            "{}",
-            s.replica_stats
-                .iter()
-                .map(|r| r.completed.to_string())
-                .collect::<Vec<_>>()
-                .join(" vs ")
-        ),
+        s.replica_stats
+            .iter()
+            .map(|r| r.completed.to_string())
+            .collect::<Vec<_>>()
+            .join(" vs "),
         "equal by construction".into(),
     ]);
     row(&[

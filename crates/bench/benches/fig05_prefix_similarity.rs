@@ -29,7 +29,14 @@ fn prompts_by_user(clients: &[ClientSpec]) -> Vec<Vec<Vec<u32>>> {
 
 fn main() {
     println!("# Fig. 5a — Prefix similarity within/across users and regions\n");
-    header(&["dataset", "grouping", "within", "across", "ratio", "paper (w/a)"]);
+    header(&[
+        "dataset",
+        "grouping",
+        "within",
+        "across",
+        "ratio",
+        "paper (w/a)",
+    ]);
 
     // ChatBot Arena: user-level only.
     let mut ids = IdGen::new();
@@ -56,12 +63,8 @@ fn main() {
         (Region::ApNortheast, 20),
     ];
     let mut ids = IdGen::new();
-    let wildchat = generate_conversation_clients(
-        &ConversationConfig::wildchat(),
-        &regions,
-        6,
-        &mut ids,
-    );
+    let wildchat =
+        generate_conversation_clients(&ConversationConfig::wildchat(), &regions, 6, &mut ids);
     let (w, a) = grouped_similarity(&prompts_by_user(&wildchat));
     row(&[
         "WildChat".into(),
@@ -122,6 +125,7 @@ fn main() {
         }
     };
     println!("block-averaged 10x10 view (10 users per block), '.'<10% … '█'>90%:\n");
+    #[allow(clippy::needless_range_loop)] // i,j index a symmetric matrix
     for bi in 0..10 {
         let mut line = String::from("  ");
         for bj in 0..10 {

@@ -171,12 +171,15 @@ fn run(requests: &[(String, Vec<u32>)], capacity: u64) -> (f64, f64) {
     (ch.hit_rate(), optimal.hit_rate())
 }
 
+/// (scenario name, per-session keyed prompts, KV capacity, paper's gap).
+type TraceScenario = (&'static str, Vec<(String, Vec<u32>)>, u64, &'static str);
+
 fn main() {
     println!("# Fig. 6 — KV-cache hit rate: consistent hashing vs optimal\n");
     header(&["scenario", "CH", "optimal", "gap (pp)", "paper gap"]);
     let mut rng = DetRng::new(6);
 
-    let scenarios: [(&str, Vec<(String, Vec<u32>)>, u64, &str); 3] = [
+    let scenarios: [TraceScenario; 3] = [
         (
             "cross-user sharing",
             cross_user_sharing(&mut rng),

@@ -42,24 +42,19 @@ fn main() {
     ];
 
     header(&[
-        "variant",
-        "tok/s",
-        "TTFT p50",
-        "TTFT p90",
-        "E2E p50",
-        "E2E p90",
-        "hit rate",
+        "variant", "tok/s", "TTFT p50", "TTFT p90", "E2E p50", "E2E p90", "hit rate",
     ]);
     let mut results = Vec::new();
     for (name, push) in variants {
-        let scenario = fig9_scenario(SystemKind::SglRouter, 4, clients, 9)
-            .with_deployment(Deployment::PerRegion {
+        let scenario = fig9_scenario(SystemKind::SglRouter, 4, clients, 9).with_deployment(
+            Deployment::PerRegion {
                 policy: PolicyKind::CacheAware,
                 push,
                 forward: false,
                 tau: 4,
                 constraint: RoutingConstraint::Unrestricted,
-            });
+            },
+        );
         let s = run_scenario(&scenario, &cfg);
         row(&[
             name.to_string(),
@@ -100,7 +95,11 @@ fn main() {
     ]);
     row(&[
         "hit rate SP-P vs BP".into(),
-        format!("{} vs {}", pct(spp.replica_hit_rate), pct(bp.replica_hit_rate)),
+        format!(
+            "{} vs {}",
+            pct(spp.replica_hit_rate),
+            pct(bp.replica_hit_rate)
+        ),
         "89.86% vs 68.89%".into(),
     ]);
 }

@@ -59,8 +59,8 @@ fn main() {
     if let Some((n, _)) = sw_points.iter().find(|(_, t)| *t >= rl12 * 0.98) {
         println!(
             "\nSkyWalker matches the 12-replica region-local throughput with {n} \
-             replicas: a {} fleet reduction (paper: 25% with 9 vs 12).",
-            format!("{:.0}%", 100.0 * fleet_reduction(12, *n))
+             replicas: a {:.0}% fleet reduction (paper: 25% with 9 vs 12).",
+            100.0 * fleet_reduction(12, *n)
         );
     }
 }

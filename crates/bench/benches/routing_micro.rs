@@ -1,9 +1,17 @@
-//! Criterion micro-benchmarks of the routing data path: the operations a
-//! production adopter pays for on every request.
+//! Micro-benchmarks of the routing data path: the operations a
+//! production adopter pays for on every request. Policies run as boxed
+//! [`RoutingPolicy`] trait objects — exactly the shape the balancer
+//! drives them in — so the numbers include the virtual dispatch a real
+//! deployment pays.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use skywalker_core::{hash_key, HashRing, RoutePolicy, RouteTrie, TargetState};
-use skywalker_replica::{KvConfig, PrefixCache};
+use skywalker::P2cLocalFactory;
+use skywalker_bench::micro::{bench, black_box};
+use skywalker_core::{
+    hash_key, BalancerConfig, CacheAware, ConsistentHash, HashRing, LeastLoad, PolicyFactory,
+    RouteTrie, RoutingPolicy, TargetState,
+};
+use skywalker_net::Region;
+use skywalker_replica::{KvConfig, PrefixCache, ReplicaId};
 use skywalker_sim::DetRng;
 
 fn random_prompt(rng: &mut DetRng, len: usize) -> Vec<u32> {
@@ -16,115 +24,126 @@ fn shared_prefix_prompt(rng: &mut DetRng, shared: &[u32], extra: usize) -> Vec<u
     p
 }
 
-fn bench_trie(c: &mut Criterion) {
-    let mut group = c.benchmark_group("route_trie");
+fn bench_trie() {
     let mut rng = DetRng::new(1);
     let shared = random_prompt(&mut rng, 128);
 
-    group.bench_function("insert_512tok", |b| {
+    {
         let mut rng = DetRng::new(2);
-        b.iter_batched(
-            || {
-                let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 22);
-                for t in 0..8 {
-                    trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
-                }
-                (trie, shared_prefix_prompt(&mut rng, &shared, 384))
-            },
-            |(mut trie, prompt)| trie.insert(&prompt, 9),
-            BatchSize::SmallInput,
-        );
-    });
+        // Bound the trie below the pool's footprint so that by the time
+        // the pool wraps around, earlier suffixes have been evicted and
+        // every timed call is a real node-creating insert.
+        let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 20);
+        for t in 0..8 {
+            trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
+        }
+        // A pool of distinct prompts, pre-generated outside the timed
+        // loop: each timed insert walks the shared prefix then creates
+        // fresh suffix nodes, so the measurement stays a real insert
+        // instead of a found-everything traversal.
+        let prompts: Vec<Vec<u32>> = (0..4096)
+            .map(|_| shared_prefix_prompt(&mut rng, &shared, 384))
+            .collect();
+        let mut i = 0usize;
+        bench("route_trie/insert_512tok", || {
+            trie.insert(black_box(&prompts[i % prompts.len()]), (i % 10) as u32);
+            i += 1;
+        });
+    }
 
-    group.bench_function("best_match_512tok", |b| {
+    {
         let mut rng = DetRng::new(3);
         let mut trie: RouteTrie<u32> = RouteTrie::new(1 << 22);
         for t in 0..64 {
             trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
         }
         let query = shared_prefix_prompt(&mut rng, &shared, 384);
-        b.iter(|| trie.best_match(&query, |_| true));
-    });
-    group.finish();
+        bench("route_trie/best_match_512tok", || {
+            black_box(trie.best_match(black_box(&query), |_| true));
+        });
+    }
 }
 
-fn bench_ring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash_ring");
+fn bench_ring() {
     let mut ring: HashRing<u32> = HashRing::new(64);
     for t in 0..12 {
         ring.add(t);
     }
-    group.bench_function("lookup_12_replicas", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            ring.lookup(hash_key(&format!("user-{i}/session-3")), |_| true)
-        });
+    let mut i = 0u64;
+    bench("hash_ring/lookup_12_replicas", || {
+        i += 1;
+        black_box(ring.lookup(hash_key(&format!("user-{i}/session-3")), |_| true));
     });
-    group.bench_function("lookup_with_skips", |b| {
-        let h = hash_key("user-under-test");
-        b.iter(|| ring.lookup(h, |t| *t > 8));
+    let h = hash_key("user-under-test");
+    bench("hash_ring/lookup_with_skips", || {
+        black_box(ring.lookup(black_box(h), |t| *t > 8));
     });
-    group.finish();
 }
 
-fn bench_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_select");
-    let candidates: Vec<TargetState<u32>> = (0..12)
-        .map(|i| TargetState {
-            id: i,
-            load: (i * 3) % 7,
-        })
-        .collect();
+fn bench_policy() {
+    let candidates: Vec<TargetState<u32>> =
+        (0..12).map(|i| TargetState::new(i, (i * 3) % 7)).collect();
     let mut rng = DetRng::new(4);
     let shared = random_prompt(&mut rng, 96);
     let prompt = shared_prefix_prompt(&mut rng, &shared, 160);
 
-    let mut cache_aware: RoutePolicy<u32> = RoutePolicy::cache_aware(1 << 22, 0.5);
+    let mut cache_aware: Box<dyn RoutingPolicy<u32>> = Box::new(CacheAware::new(1 << 22, 0.5, 32));
     for t in 0..12 {
         cache_aware.note_dispatch(&shared_prefix_prompt(&mut rng, &shared, 160), t);
     }
-    group.bench_function("cache_aware", |b| {
-        b.iter(|| cache_aware.select("user-1", &prompt, &candidates));
+    bench("policy_select/cache_aware", || {
+        black_box(cache_aware.select("user-1", black_box(&prompt), &candidates));
     });
 
-    let mut ch: RoutePolicy<u32> = RoutePolicy::consistent_hash();
+    let mut ch: Box<dyn RoutingPolicy<u32>> = Box::new(ConsistentHash::new());
     for t in 0..12 {
         ch.add_target(t);
     }
-    group.bench_function("consistent_hash", |b| {
-        b.iter(|| ch.select("user-1", &prompt, &candidates));
+    bench("policy_select/consistent_hash", || {
+        black_box(ch.select("user-1", black_box(&prompt), &candidates));
     });
 
-    let mut ll: RoutePolicy<u32> = RoutePolicy::least_load();
-    group.bench_function("least_load", |b| {
-        b.iter(|| ll.select("user-1", &prompt, &candidates));
+    let mut ll: Box<dyn RoutingPolicy<u32>> = Box::new(LeastLoad);
+    bench("policy_select/least_load", || {
+        black_box(ll.select("user-1", black_box(&prompt), &candidates));
     });
-    group.finish();
+
+    // The custom policy built on the open trait, measured through the
+    // same boxed dispatch as the built-ins.
+    let factory = P2cLocalFactory::new(6);
+    let mut p2c = factory.build_local(&BalancerConfig::skywalker(Region::UsEast));
+    let replica_candidates: Vec<TargetState<ReplicaId>> = (0..12)
+        .map(|i| TargetState::new(ReplicaId(i), (i * 3) % 7).in_region(Region::UsEast))
+        .collect();
+    bench("policy_select/p2c_local", || {
+        black_box(p2c.select("user-1", black_box(&prompt), &replica_candidates));
+    });
 }
 
-fn bench_kvcache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kv_cache");
+fn bench_kvcache() {
     let mut rng = DetRng::new(5);
     let shared = random_prompt(&mut rng, 256);
 
-    group.bench_function("acquire_release_warm", |b| {
+    {
         let mut cache = PrefixCache::new(KvConfig::L4_LLAMA8B);
         let (l, _) = cache.acquire(&shared).unwrap();
         cache.release(l);
+        // Prompt generation happens outside the timed loop; the closure
+        // times only the cache operations.
         let mut rng = DetRng::new(6);
-        b.iter_batched(
-            || shared_prefix_prompt(&mut rng, &shared, 128),
-            |prompt| {
-                let (l, cached) = cache.acquire(&prompt).unwrap();
-                assert!(cached >= 256);
-                cache.release(l);
-            },
-            BatchSize::SmallInput,
-        );
-    });
+        let prompts: Vec<Vec<u32>> = (0..1024)
+            .map(|_| shared_prefix_prompt(&mut rng, &shared, 128))
+            .collect();
+        let mut i = 0usize;
+        bench("kv_cache/acquire_release_warm", || {
+            let (l, cached) = cache.acquire(&prompts[i % prompts.len()]).unwrap();
+            assert!(cached >= 256);
+            cache.release(l);
+            i += 1;
+        });
+    }
 
-    group.bench_function("matched_tokens_probe", |b| {
+    {
         let mut cache = PrefixCache::new(KvConfig::L4_LLAMA8B);
         let mut rng = DetRng::new(7);
         for _ in 0..32 {
@@ -133,10 +152,15 @@ fn bench_kvcache(c: &mut Criterion) {
             cache.release(l);
         }
         let probe = shared_prefix_prompt(&mut rng, &shared, 256);
-        b.iter(|| cache.matched_tokens(&probe));
-    });
-    group.finish();
+        bench("kv_cache/matched_tokens_probe", || {
+            black_box(cache.matched_tokens(black_box(&probe)));
+        });
+    }
 }
 
-criterion_group!(benches, bench_trie, bench_ring, bench_policy, bench_kvcache);
-criterion_main!(benches);
+fn main() {
+    bench_trie();
+    bench_ring();
+    bench_policy();
+    bench_kvcache();
+}

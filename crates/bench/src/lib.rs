@@ -1,18 +1,60 @@
 //! # skywalker-bench
 //!
 //! The experiment harness: one bench target per figure of the paper's
-//! evaluation (see `benches/`), plus criterion micro-benchmarks of the
-//! routing data path (`routing_micro`).
+//! evaluation (see `benches/`), plus micro-benchmarks of the routing
+//! data path (`routing_micro`).
 //!
-//! The figure benches use a custom harness (`harness = false`) — they are
-//! experiment drivers that print the same rows/series the paper plots,
-//! not statistical timing loops. Run one with:
+//! Every bench target uses a custom harness (`harness = false`): the
+//! figure benches are experiment drivers that print the same rows/series
+//! the paper plots, and `routing_micro` runs on the tiny timing loop in
+//! [`micro`] (the workspace builds offline, so no criterion). Run one
+//! with:
 //!
 //! ```sh
 //! cargo bench -p skywalker-bench --bench fig08_macro
 //! ```
 //!
-//! This library crate only hosts shared table-printing helpers.
+//! This library crate hosts the shared table-printing helpers and the
+//! micro-benchmark timing loop.
+
+use std::time::{Duration, Instant};
+
+/// Minimal micro-benchmark timing: warm up briefly, then run the closure
+/// until ~200 ms of samples accumulate and report the mean ns/iter. Not
+/// a statistics engine — it exists so the routing data path has a
+/// runnable perf smoke without external dependencies.
+pub mod micro {
+    use super::*;
+
+    /// Opaque value barrier (re-exported so benches need no direct
+    /// `std::hint` import).
+    pub fn black_box<T>(x: T) -> T {
+        std::hint::black_box(x)
+    }
+
+    /// Times `f` and prints `name: <mean> ns/iter (<iters> iters)`.
+    pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+        // Warm-up: populate caches and let the branch predictor settle.
+        let warmup_end = Instant::now() + Duration::from_millis(20);
+        while Instant::now() < warmup_end {
+            f();
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            // Batch 64 calls per clock check so the Instant reads do not
+            // dominate sub-microsecond bodies.
+            for _ in 0..64 {
+                f();
+            }
+            iters += 64;
+        }
+        let elapsed = start.elapsed();
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        println!("{name}: {ns_per_iter:.1} ns/iter ({iters} iters)");
+    }
+}
 
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
@@ -22,7 +64,10 @@ pub fn row(cells: &[String]) {
 /// Prints a table header with a separator line.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a float with the given precision.

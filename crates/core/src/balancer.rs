@@ -28,7 +28,7 @@ use skywalker_net::Region;
 use skywalker_replica::{ReplicaId, Request};
 
 use crate::gdpr::RoutingConstraint;
-use crate::policy::{PolicyKind, RoutePolicy, TargetState};
+use crate::policy::{PolicyKind, PolicyParams, RoutingPolicy, TargetState};
 use crate::pushing::{PushMode, ReplicaState};
 use crate::ring::RingTarget;
 
@@ -74,7 +74,10 @@ pub struct PeerState {
 pub struct BalancerConfig {
     /// Region this balancer fronts.
     pub region: Region,
-    /// Placement policy used at both layers.
+    /// Built-in placement policy used at both layers when the balancer is
+    /// constructed via [`RegionalBalancer::new`]. Custom policies ignore
+    /// this field and come in through [`RegionalBalancer::with_factory`]
+    /// or [`RegionalBalancer::with_policies`].
     pub policy: PolicyKind,
     /// Admission discipline for local replicas (§3.3).
     pub push_mode: PushMode,
@@ -86,6 +89,10 @@ pub struct BalancerConfig {
     /// Hit-ratio threshold below which the cache-aware policy explores
     /// by load instead of chasing affinity (§5.1 discusses 50 %).
     pub affinity_threshold: f64,
+    /// Load-gap override of the cache-aware policy: beyond this many
+    /// outstanding requests between the most and least loaded candidate,
+    /// affinity is abandoned for shortest-queue routing.
+    pub balance_abs_threshold: u32,
     /// Maximum LB-to-LB hops (1 = a request is forwarded at most once).
     pub max_hops: u8,
     /// Regulatory forwarding constraint (§4.1).
@@ -103,6 +110,7 @@ impl BalancerConfig {
             tau: 4,
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
+            balance_abs_threshold: 32,
             max_hops: 1,
             constraint: RoutingConstraint::Unrestricted,
         }
@@ -126,9 +134,51 @@ impl BalancerConfig {
             tau: 0,
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
+            balance_abs_threshold: 32,
             max_hops: 0,
             constraint: RoutingConstraint::Unrestricted,
         }
+    }
+
+    /// The policy-construction parameters embedded in this configuration.
+    pub fn params(&self) -> PolicyParams {
+        PolicyParams {
+            trie_max_tokens: self.trie_max_tokens,
+            affinity_threshold: self.affinity_threshold,
+            balance_abs_threshold: self.balance_abs_threshold,
+        }
+    }
+}
+
+/// Builds the pair of policies a balancer runs — one over its local
+/// replicas, one over its peer balancers (the two layers of §3.1).
+///
+/// [`PolicyKind`] implements this for the four built-ins; custom systems
+/// implement it once and plug into the scenario fabric and the live
+/// servers without touching this crate.
+pub trait PolicyFactory: std::fmt::Debug + Send + Sync {
+    /// The replica-layer policy for a balancer with configuration `cfg`.
+    fn build_local(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<ReplicaId>>;
+
+    /// The peer-layer (cross-region) policy for a balancer with
+    /// configuration `cfg`.
+    fn build_remote(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<LbId>>;
+
+    /// Display label for experiment tables.
+    fn label(&self) -> String;
+}
+
+impl PolicyFactory for PolicyKind {
+    fn build_local(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<ReplicaId>> {
+        self.build(&cfg.params())
+    }
+
+    fn build_remote(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<LbId>> {
+        self.build(&cfg.params())
+    }
+
+    fn label(&self) -> String {
+        PolicyKind::label(self).to_string()
     }
 }
 
@@ -180,33 +230,51 @@ pub struct RegionalBalancer {
     cfg: BalancerConfig,
     queue: VecDeque<Queued>,
     replicas: BTreeMap<ReplicaId, ReplicaState>,
+    /// Region each managed replica actually serves — distinct from
+    /// `cfg.region` for centralized deployments fronting a multi-region
+    /// fleet and for re-homed replicas held on behalf of a dead peer.
+    replica_regions: BTreeMap<ReplicaId, Region>,
     peers: BTreeMap<LbId, PeerState>,
-    local_policy: RoutePolicy<ReplicaId>,
-    remote_policy: RoutePolicy<LbId>,
+    local_policy: Box<dyn RoutingPolicy<ReplicaId>>,
+    remote_policy: Box<dyn RoutingPolicy<LbId>>,
     /// Per-replica dispatch counts, for load-variance analysis.
     dispatches: BTreeMap<ReplicaId, u64>,
     stats: BalancerStats,
 }
 
 impl RegionalBalancer {
-    /// Creates a balancer with no replicas or peers.
+    /// Creates a balancer with no replicas or peers, running the built-in
+    /// policy named by `cfg.policy` at both layers.
     pub fn new(id: LbId, cfg: BalancerConfig) -> Self {
+        let kind = cfg.policy;
+        Self::with_factory(id, cfg, &kind)
+    }
+
+    /// Creates a balancer whose policies come from `factory` — the open
+    /// entry point for policies that are not [`PolicyKind`] built-ins.
+    pub fn with_factory(id: LbId, cfg: BalancerConfig, factory: &dyn PolicyFactory) -> Self {
+        let local = factory.build_local(&cfg);
+        let remote = factory.build_remote(&cfg);
+        Self::with_policies(id, cfg, local, remote)
+    }
+
+    /// Creates a balancer from explicit policy instances (lowest-level
+    /// constructor; the other two delegate here).
+    pub fn with_policies(
+        id: LbId,
+        cfg: BalancerConfig,
+        local_policy: Box<dyn RoutingPolicy<ReplicaId>>,
+        remote_policy: Box<dyn RoutingPolicy<LbId>>,
+    ) -> Self {
         RegionalBalancer {
             id,
             cfg,
             queue: VecDeque::new(),
             replicas: BTreeMap::new(),
+            replica_regions: BTreeMap::new(),
             peers: BTreeMap::new(),
-            local_policy: RoutePolicy::build_with(
-                cfg.policy,
-                cfg.trie_max_tokens,
-                cfg.affinity_threshold,
-            ),
-            remote_policy: RoutePolicy::build_with(
-                cfg.policy,
-                cfg.trie_max_tokens,
-                cfg.affinity_threshold,
-            ),
+            local_policy,
+            remote_policy,
             dispatches: BTreeMap::new(),
             stats: BalancerStats::default(),
         }
@@ -227,15 +295,27 @@ impl RegionalBalancer {
         &self.cfg
     }
 
-    /// Registers a local replica (initially idle and healthy).
+    /// Registers a replica served from this balancer's own region
+    /// (initially idle and healthy).
     pub fn add_replica(&mut self, id: ReplicaId) {
+        let region = self.cfg.region;
+        self.add_replica_in(id, region);
+    }
+
+    /// Registers a replica served from an explicit region — the honest
+    /// form for centralized deployments fronting a multi-region fleet
+    /// and for controller re-homing, so locality-aware policies see
+    /// where each candidate really is.
+    pub fn add_replica_in(&mut self, id: ReplicaId, region: Region) {
         self.replicas.insert(id, ReplicaState::new(id));
+        self.replica_regions.insert(id, region);
         self.local_policy.add_target(id);
     }
 
     /// Removes a replica (controller re-homing or decommission).
     pub fn remove_replica(&mut self, id: ReplicaId) {
         self.replicas.remove(&id);
+        self.replica_regions.remove(&id);
         self.local_policy.remove_target(id);
         self.dispatches.remove(&id);
     }
@@ -404,9 +484,13 @@ impl RegionalBalancer {
         self.replicas
             .values()
             .filter(|r| self.cfg.push_mode.replica_available(r))
-            .map(|r| TargetState {
-                id: r.id,
-                load: r.outstanding,
+            .map(|r| {
+                let region = self
+                    .replica_regions
+                    .get(&r.id)
+                    .copied()
+                    .unwrap_or(self.cfg.region);
+                TargetState::new(r.id, r.outstanding).in_region(region)
             })
             .collect()
     }
@@ -420,10 +504,7 @@ impl RegionalBalancer {
                     && p.queue_len <= self.cfg.tau
                     && self.cfg.constraint.allows(self.cfg.region, p.region)
             })
-            .map(|p| TargetState {
-                id: p.id,
-                load: p.queue_len,
-            })
+            .map(|p| TargetState::new(p.id, p.queue_len).in_region(p.region))
             .collect()
     }
 
@@ -447,10 +528,7 @@ mod tests {
     }
 
     fn skywalker_lb() -> RegionalBalancer {
-        let mut lb = RegionalBalancer::new(
-            LbId(0),
-            BalancerConfig::skywalker(Region::UsEast),
-        );
+        let mut lb = RegionalBalancer::new(LbId(0), BalancerConfig::skywalker(Region::UsEast));
         for i in 0..3 {
             lb.add_replica(ReplicaId(i));
         }
@@ -690,10 +768,12 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use skywalker_sim::DetRng;
 
         /// Random interleavings of submits, probes, and completions must
         /// preserve FCFS order and only ever dispatch to known targets.
+        /// (Seeded-random rather than proptest-driven: the workspace
+        /// builds offline with no external crates.)
         #[derive(Debug, Clone)]
         enum Op {
             Submit { key: u8, prompt_len: u8 },
@@ -702,31 +782,33 @@ mod tests {
             PeerProbe { avail: u8, qlen: u8 },
         }
 
-        fn op() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (0u8..6, 1u8..20).prop_map(|(key, prompt_len)| Op::Submit {
-                    key,
-                    prompt_len
-                }),
-                (0u8..3, 0u8..3).prop_map(|(idx, pending)| Op::ProbeReplica {
-                    idx,
-                    pending
-                }),
-                (0u8..3).prop_map(|idx| Op::Complete { idx }),
-                (0u8..4, 0u8..8).prop_map(|(avail, qlen)| Op::PeerProbe {
-                    avail,
-                    qlen
-                }),
-            ]
+        fn random_op(rng: &mut DetRng) -> Op {
+            match rng.below(4) {
+                0 => Op::Submit {
+                    key: rng.below(6) as u8,
+                    prompt_len: rng.range(1, 20) as u8,
+                },
+                1 => Op::ProbeReplica {
+                    idx: rng.below(3) as u8,
+                    pending: rng.below(3) as u8,
+                },
+                2 => Op::Complete {
+                    idx: rng.below(3) as u8,
+                },
+                _ => Op::PeerProbe {
+                    avail: rng.below(4) as u8,
+                    qlen: rng.below(8) as u8,
+                },
+            }
         }
 
-        proptest! {
-            #[test]
-            fn dispatch_targets_valid_and_fcfs(ops in prop::collection::vec(op(), 1..80)) {
-                let mut lb = RegionalBalancer::new(
-                    LbId(0),
-                    BalancerConfig::skywalker(Region::UsEast),
-                );
+        #[test]
+        fn dispatch_targets_valid_and_fcfs() {
+            for case in 0..128u64 {
+                let mut rng = DetRng::for_component(case, "balancer/fcfs-property");
+                let ops: Vec<Op> = (0..rng.range(1, 80)).map(|_| random_op(&mut rng)).collect();
+                let mut lb =
+                    RegionalBalancer::new(LbId(0), BalancerConfig::skywalker(Region::UsEast));
                 for i in 0..3 {
                     lb.add_replica(ReplicaId(i));
                 }
@@ -762,43 +844,41 @@ mod tests {
                             lb.on_replica_complete(ReplicaId(u32::from(idx)));
                         }
                         Op::PeerProbe { avail, qlen } => {
-                            lb.on_peer_probe(
-                                LbId(1),
-                                u32::from(avail),
-                                u32::from(qlen),
-                            );
+                            lb.on_peer_probe(LbId(1), u32::from(avail), u32::from(qlen));
                         }
                     }
                     for d in lb.dispatch() {
                         match d {
                             Decision::Local { req, replica } => {
-                                prop_assert!(replica.0 < 3, "unknown replica");
+                                assert!(replica.0 < 3, "case {case}: unknown replica");
                                 dispatched.push(req.id.0);
                             }
                             Decision::Forward { req, peer, hops } => {
-                                prop_assert_eq!(peer, LbId(1));
-                                prop_assert_eq!(hops, 1);
+                                assert_eq!(peer, LbId(1), "case {case}");
+                                assert_eq!(hops, 1, "case {case}");
                                 dispatched.push(req.id.0);
                             }
                         }
                     }
                 }
                 // FCFS: requests leave the queue in submission order.
-                prop_assert_eq!(
+                assert_eq!(
                     &dispatched[..],
                     &submitted[..dispatched.len()],
-                    "dispatch order must match submission order"
+                    "case {case}: dispatch order must match submission order"
                 );
                 // Conservation: everything is either dispatched or queued.
-                prop_assert_eq!(
+                assert_eq!(
                     dispatched.len() + lb.queue_len(),
-                    submitted.len()
+                    submitted.len(),
+                    "case {case}"
                 );
                 // Stats agree with observed behaviour.
                 let stats = lb.stats();
-                prop_assert_eq!(
+                assert_eq!(
                     (stats.dispatched_local + stats.forwarded) as usize,
-                    dispatched.len()
+                    dispatched.len(),
+                    "case {case}"
                 );
             }
         }
@@ -822,9 +902,7 @@ mod tests {
         // estimate marks it unavailable: the burst cannot all land on one.
         let to = |id: u32| {
             ds.iter()
-                .filter(
-                    |d| matches!(d, Decision::Forward { peer, .. } if *peer == LbId(id)),
-                )
+                .filter(|d| matches!(d, Decision::Forward { peer, .. } if *peer == LbId(id)))
                 .count()
         };
         assert!(to(1) <= 5);

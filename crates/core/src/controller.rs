@@ -154,9 +154,7 @@ impl Controller {
         let newly_failed: Vec<LbId> = self
             .lbs
             .iter()
-            .filter(|(_, rec)| {
-                rec.alive && now.saturating_since(rec.last_heartbeat) > self.timeout
-            })
+            .filter(|(_, rec)| rec.alive && now.saturating_since(rec.last_heartbeat) > self.timeout)
             .map(|(id, _)| *id)
             .collect();
         for id in newly_failed {
@@ -165,8 +163,7 @@ impl Controller {
         }
         // Re-home replicas currently held by dead balancers (covers both
         // fresh failures and replicas stranded by cascading failures).
-        let holders: Vec<(ReplicaId, LbId)> =
-            self.current.iter().map(|(r, l)| (*r, *l)).collect();
+        let holders: Vec<(ReplicaId, LbId)> = self.current.iter().map(|(r, l)| (*r, *l)).collect();
         for (replica, holder) in holders {
             let holder_alive = self.lbs.get(&holder).map(|r| r.alive).unwrap_or(false);
             if holder_alive {

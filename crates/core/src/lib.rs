@@ -14,7 +14,9 @@
 //!    hashing on user/session keys (SkyWalker-CH, [`HashRing`]) or
 //!    explicit prefix trees with per-target sets and regional snapshots
 //!    (SkyWalker, [`RouteTrie`]). Both are availability-filtered.
-//!    Implemented by [`RoutePolicy`].
+//!    Implemented as [`RoutingPolicy`] trait objects — an **open**
+//!    surface: external crates add policies without touching this one
+//!    (see `docs/extending.md` at the workspace root).
 //! 3. **Selective pushing on pending requests** (§3.3): requests wait at
 //!    the balancer until a replica's continuous batch can actually admit
 //!    them, read from the replica's pending queue. Implemented by
@@ -39,11 +41,14 @@ mod ring;
 mod trie;
 
 pub use balancer::{
-    BalancerConfig, BalancerStats, Decision, LbId, PeerState, RegionalBalancer,
+    BalancerConfig, BalancerStats, Decision, LbId, PeerState, PolicyFactory, RegionalBalancer,
 };
 pub use controller::{ControlAction, Controller};
 pub use gdpr::RoutingConstraint;
-pub use policy::{PolicyKind, RoutePolicy, TargetState};
+pub use policy::{
+    least_loaded, CacheAware, ConsistentHash, LeastLoad, PolicyKind, PolicyParams, RoundRobin,
+    RoutingPolicy, TargetState,
+};
 pub use pushing::{PushMode, ReplicaState};
 pub use ring::{hash_key, HashRing, RingTarget};
 pub use trie::{RouteTrie, TrieMatch};

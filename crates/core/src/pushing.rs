@@ -87,8 +87,7 @@ impl PushMode {
             PushMode::Blind => true,
             PushMode::Outstanding { max } => replica.outstanding < *max,
             PushMode::Pending => {
-                replica.pending == 0
-                    && replica.dispatched_since_probe < PROBE_WINDOW_BURST
+                replica.pending == 0 && replica.dispatched_since_probe < PROBE_WINDOW_BURST
             }
         }
     }

@@ -166,8 +166,8 @@ impl<T: Copy + Ord> RouteTrie<T> {
                 .map(|(t, _)| *t)
         };
 
-        let mut best: Option<TrieMatch<T>> = pick(&self.nodes[ROOT])
-            .map(|target| TrieMatch { target, matched: 0 });
+        let mut best: Option<TrieMatch<T>> =
+            pick(&self.nodes[ROOT]).map(|target| TrieMatch { target, matched: 0 });
         best.as_ref()?;
 
         let mut node = ROOT;
@@ -243,8 +243,7 @@ impl<T: Copy + Ord> RouteTrie<T> {
         // Drop leaves with no targets (repeatedly, so chains collapse).
         loop {
             let victim = self.nodes.iter().enumerate().find_map(|(i, n)| {
-                (i != ROOT && !n.dead && n.children.is_empty() && n.targets.is_empty())
-                    .then_some(i)
+                (i != ROOT && !n.dead && n.children.is_empty() && n.targets.is_empty()).then_some(i)
             });
             match victim {
                 Some(i) => self.remove_leaf(i),
@@ -508,64 +507,72 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use skywalker_sim::DetRng;
 
-        proptest! {
-            #[test]
-            fn invariants_under_random_inserts(
-                inserts in prop::collection::vec(
-                    (prop::collection::vec(0u32..6, 0..10), 0u8..4),
-                    1..60
-                ),
-                bound in 16usize..256,
-            ) {
+        fn random_tokens(rng: &mut DetRng, alphabet: u64, min: u64, max: u64) -> Vec<u32> {
+            let len = rng.range(min, max);
+            (0..len).map(|_| rng.below(alphabet) as u32).collect()
+        }
+
+        #[test]
+        fn invariants_under_random_inserts() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "trie/invariant-property");
+                let bound = rng.range(16, 256) as usize;
                 let mut trie = RouteTrie::new(bound);
-                for (tokens, target) in &inserts {
-                    trie.insert(tokens, *target);
+                for _ in 0..rng.range(1, 60) {
+                    let tokens = random_tokens(&mut rng, 6, 0, 10);
+                    let target = rng.below(4) as u8;
+                    trie.insert(&tokens, target);
                     trie.check_invariants();
                 }
             }
+        }
 
-            #[test]
-            fn match_length_bounded_by_query(
-                inserts in prop::collection::vec(
-                    prop::collection::vec(0u32..4, 1..10),
-                    1..20
-                ),
-                query in prop::collection::vec(0u32..4, 0..12),
-            ) {
+        #[test]
+        fn match_length_bounded_by_query() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "trie/match-bound-property");
                 let mut trie = RouteTrie::new(1 << 16);
-                for (i, tokens) in inserts.iter().enumerate() {
-                    trie.insert(tokens, i as u32);
+                let n = rng.range(1, 20);
+                for i in 0..n {
+                    let tokens = random_tokens(&mut rng, 4, 1, 10);
+                    trie.insert(&tokens, i as u32);
                 }
+                let query = random_tokens(&mut rng, 4, 0, 12);
                 if let Some(m) = trie.best_match(&query, |_| true) {
-                    prop_assert!(m.matched <= query.len());
+                    assert!(m.matched <= query.len(), "case {case}");
                     // The chosen target's own match is at least as long as
                     // reported (it may be longer only if another target won
                     // the freshness tie at the same depth).
-                    prop_assert!(trie.matched_for(&query, m.target) >= m.matched);
+                    assert!(
+                        trie.matched_for(&query, m.target) >= m.matched,
+                        "case {case}"
+                    );
                 }
             }
+        }
 
-            #[test]
-            fn best_match_is_maximal(
-                inserts in prop::collection::vec(
-                    prop::collection::vec(0u32..3, 1..8),
-                    1..15
-                ),
-                query in prop::collection::vec(0u32..3, 1..10),
-            ) {
+        #[test]
+        fn best_match_is_maximal() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "trie/maximality-property");
                 let mut trie = RouteTrie::new(1 << 16);
-                for (i, tokens) in inserts.iter().enumerate() {
-                    trie.insert(tokens, i as u32);
+                let n = rng.range(1, 15);
+                for i in 0..n {
+                    let tokens = random_tokens(&mut rng, 3, 1, 8);
+                    trie.insert(&tokens, i as u32);
                 }
+                let query = random_tokens(&mut rng, 3, 1, 10);
                 let m = trie.best_match(&query, |_| true).unwrap();
                 // No inserted target has a longer per-target match than the
                 // returned depth.
-                for i in 0..inserts.len() {
-                    prop_assert!(trie.matched_for(&query, i as u32) <= m.matched.max(
-                        trie.matched_for(&query, m.target)
-                    ));
+                for i in 0..n {
+                    assert!(
+                        trie.matched_for(&query, i as u32)
+                            <= m.matched.max(trie.matched_for(&query, m.target)),
+                        "case {case}"
+                    );
                 }
             }
         }

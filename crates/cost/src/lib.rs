@@ -242,8 +242,7 @@ impl CostComparison {
 /// ```
 pub fn compare_costs(demand: &DemandMatrix, pricing: Pricing) -> CostComparison {
     let hours = demand.window_hours();
-    let region_local =
-        demand.sum_of_region_peaks() as f64 * hours * pricing.reserved_hourly_usd;
+    let region_local = demand.sum_of_region_peaks() as f64 * hours * pricing.reserved_hourly_usd;
     let aggregated = demand.aggregated_peak() as f64 * hours * pricing.reserved_hourly_usd;
     let on_demand = demand.total_replica_hours() * pricing.on_demand_hourly_usd;
     CostComparison {
@@ -366,7 +365,10 @@ mod tests {
 
     #[test]
     fn replicas_for_rate_rounds_up_with_floor() {
-        assert_eq!(replicas_for_rate(&[0.0, 9.9, 10.0, 10.1], 10.0, 1), vec![1, 1, 1, 2]);
+        assert_eq!(
+            replicas_for_rate(&[0.0, 9.9, 10.0, 10.1], 10.0, 1),
+            vec![1, 1, 1, 2]
+        );
         assert_eq!(replicas_for_rate(&[5.0], 0.0, 2), vec![2]);
     }
 

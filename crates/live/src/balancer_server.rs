@@ -16,15 +16,16 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
-use skywalker_core::{BalancerConfig, Decision, LbId, RegionalBalancer};
+use skywalker_core::{BalancerConfig, Decision, LbId, PolicyFactory, RegionalBalancer};
 use skywalker_net::{read_frame, write_frame, Message, Region};
 use skywalker_replica::{ReplicaId, Request};
+
+use crate::sync::Mutex;
 
 struct Shared {
     lb: Mutex<RegionalBalancer>,
@@ -85,16 +86,40 @@ pub struct BalancerServer {
 
 impl BalancerServer {
     /// Binds to an ephemeral localhost port and starts serving with the
-    /// given balancer configuration and probe cadence.
-    pub fn spawn(
+    /// given balancer configuration and probe cadence, running the
+    /// built-in policy named by `cfg.policy`.
+    pub fn spawn(id: LbId, cfg: BalancerConfig, probe_interval: Duration) -> io::Result<Self> {
+        let kind = cfg.policy;
+        Self::spawn_with_factory(id, cfg, &kind, probe_interval)
+    }
+
+    /// Binds and serves with policies built by `factory` — the same open
+    /// [`RoutingPolicy`] surface the simulation fabric drives, so a
+    /// custom policy runs over real sockets unchanged.
+    ///
+    /// [`RoutingPolicy`]: skywalker_core::RoutingPolicy
+    pub fn spawn_with_factory(
         id: LbId,
         cfg: BalancerConfig,
+        factory: &dyn PolicyFactory,
+        probe_interval: Duration,
+    ) -> io::Result<Self> {
+        Self::spawn_balancer(
+            RegionalBalancer::with_factory(id, cfg, factory),
+            probe_interval,
+        )
+    }
+
+    /// Binds and serves a pre-built balancer (lowest-level entry point;
+    /// the other constructors delegate here).
+    pub fn spawn_balancer(
+        balancer: RegionalBalancer,
         probe_interval: Duration,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            lb: Mutex::new(RegionalBalancer::new(id, cfg)),
+            lb: Mutex::new(balancer),
             upstreams: Mutex::new(HashMap::new()),
             replica_tx: Mutex::new(HashMap::new()),
             peer_tx: Mutex::new(HashMap::new()),
@@ -113,7 +138,7 @@ impl BalancerServer {
                     }
                     let Ok(stream) = conn else { break };
                     let shared = Arc::clone(&shared);
-                    let (tx, rx) = unbounded::<Message>();
+                    let (tx, rx) = channel::<Message>();
                     std::thread::spawn(move || connection(shared, stream, tx, rx, None));
                 }
             }));
@@ -140,7 +165,7 @@ impl BalancerServer {
     /// connection setup and drop a request.
     pub fn attach_replica(&self, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
         let stream = TcpStream::connect(addr)?;
-        let (tx, rx) = unbounded::<Message>();
+        let (tx, rx) = channel::<Message>();
         self.shared.replica_tx.lock().insert(id, tx.clone());
         self.shared.replica_addrs.lock().insert(id, addr);
         self.shared.lb.lock().add_replica(id);
@@ -154,7 +179,7 @@ impl BalancerServer {
     /// a forwarding candidate.
     pub fn connect_peer(&self, id: LbId, region: Region, addr: SocketAddr) -> io::Result<()> {
         let stream = TcpStream::connect(addr)?;
-        let (tx, rx) = unbounded::<Message>();
+        let (tx, rx) = channel::<Message>();
         self.shared.peer_tx.lock().insert(id, tx.clone());
         self.shared.peer_addrs.lock().insert(id, addr);
         self.shared.lb.lock().add_peer(id, region);
@@ -190,7 +215,7 @@ fn connection(
     shared: Arc<Shared>,
     stream: TcpStream,
     tx: Sender<Message>,
-    rx: crossbeam::channel::Receiver<Message>,
+    rx: Receiver<Message>,
     replica: Option<ReplicaId>,
 ) {
     let Ok(mut reader) = stream.try_clone() else {
@@ -319,9 +344,7 @@ fn prober(shared: Arc<Shared>, interval: Duration) {
 
 fn probe(addr: SocketAddr, msg: &Message) -> Option<Message> {
     let mut stream = TcpStream::connect(addr).ok()?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(2)))
-        .ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
     write_frame(&mut stream, msg).ok()?;
     read_frame(&mut stream).ok()
 }

@@ -67,13 +67,16 @@ impl LiveClient {
     /// and end-to-end latency.
     pub fn run(&mut self, req: &Request) -> Result<LiveOutcome, ClientError> {
         let start = Instant::now();
-        write_frame(&mut self.stream, &Message::Infer {
-            request_id: req.id.0,
-            session_key: req.session_key.clone(),
-            prompt: req.prompt.clone(),
-            max_new_tokens: req.target_output_tokens,
-            hops: 0,
-        })?;
+        write_frame(
+            &mut self.stream,
+            &Message::Infer {
+                request_id: req.id.0,
+                session_key: req.session_key.clone(),
+                prompt: req.prompt.clone(),
+                max_new_tokens: req.target_output_tokens,
+                hops: 0,
+            },
+        )?;
         let mut ttft = None;
         loop {
             match read_frame(&mut self.stream) {

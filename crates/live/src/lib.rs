@@ -23,6 +23,7 @@
 mod balancer_server;
 mod client;
 mod replica_server;
+mod sync;
 
 pub use balancer_server::BalancerServer;
 pub use client::{ClientError, LiveClient, LiveOutcome};
@@ -120,8 +121,10 @@ mod tests {
         )
         .unwrap();
         lb1.attach_replica(ReplicaId(0), r0.addr()).unwrap();
-        lb0.connect_peer(LbId(1), Region::EuWest, lb1.addr()).unwrap();
-        lb1.connect_peer(LbId(0), Region::UsEast, lb0.addr()).unwrap();
+        lb0.connect_peer(LbId(1), Region::EuWest, lb1.addr())
+            .unwrap();
+        lb1.connect_peer(LbId(0), Region::UsEast, lb0.addr())
+            .unwrap();
 
         // Wait for at least one probe round so LB0 learns LB1 is
         // available.
@@ -155,7 +158,12 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut c = LiveClient::connect(addr).unwrap();
                     let out = c
-                        .run(&Request::new(100 + i, format!("u{i}"), vec![i as u32; 16], 4))
+                        .run(&Request::new(
+                            100 + i,
+                            format!("u{i}"),
+                            vec![i as u32; 16],
+                            4,
+                        ))
                         .unwrap();
                     assert_eq!(out.generated, 4);
                 })

@@ -12,14 +12,15 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
 use skywalker_net::{read_frame, write_frame, Message};
 use skywalker_replica::{GpuProfile, Replica, ReplicaId, Request};
+
+use crate::sync::Mutex;
 
 struct Shared {
     replica: Mutex<Replica>,
@@ -160,7 +161,7 @@ fn connection(shared: Arc<Shared>, stream: TcpStream) {
     let Ok(mut reader) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = unbounded::<Message>();
+    let (tx, rx) = channel::<Message>();
     // Writer: serializes everything sent to this peer.
     let mut writer = stream;
     let writer_thread = std::thread::spawn(move || {
@@ -222,16 +223,18 @@ mod tests {
 
     #[test]
     fn infer_round_trip() {
-        let srv =
-            ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
+        let srv = ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
         let mut conn = connect(srv.addr());
-        write_frame(&mut conn, &Message::Infer {
-            request_id: 1,
-            session_key: "u".into(),
-            prompt: vec![1, 2, 3],
-            max_new_tokens: 4,
-            hops: 0,
-        })
+        write_frame(
+            &mut conn,
+            &Message::Infer {
+                request_id: 1,
+                session_key: "u".into(),
+                prompt: vec![1, 2, 3],
+                max_new_tokens: 4,
+                hops: 0,
+            },
+        )
         .unwrap();
         let first = read_frame(&mut conn).unwrap();
         assert_eq!(first, Message::FirstToken { request_id: 1 });
@@ -252,8 +255,7 @@ mod tests {
 
     #[test]
     fn probe_reports_status() {
-        let srv =
-            ReplicaServer::spawn(ReplicaId(1), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
+        let srv = ReplicaServer::spawn(ReplicaId(1), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
         let mut conn = connect(srv.addr());
         write_frame(&mut conn, &Message::ProbeReplica).unwrap();
         match read_frame(&mut conn).unwrap() {
@@ -265,20 +267,22 @@ mod tests {
 
     #[test]
     fn concurrent_clients_served() {
-        let srv =
-            ReplicaServer::spawn(ReplicaId(2), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
+        let srv = ReplicaServer::spawn(ReplicaId(2), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
         let addr = srv.addr();
         let handles: Vec<_> = (0..4u64)
             .map(|i| {
                 std::thread::spawn(move || {
                     let mut conn = connect(addr);
-                    write_frame(&mut conn, &Message::Infer {
-                        request_id: i,
-                        session_key: format!("u{i}"),
-                        prompt: vec![i as u32; 8],
-                        max_new_tokens: 3,
-                        hops: 0,
-                    })
+                    write_frame(
+                        &mut conn,
+                        &Message::Infer {
+                            request_id: i,
+                            session_key: format!("u{i}"),
+                            prompt: vec![i as u32; 8],
+                            max_new_tokens: 3,
+                            hops: 0,
+                        },
+                    )
                     .unwrap();
                     loop {
                         match read_frame(&mut conn).unwrap() {
@@ -303,17 +307,19 @@ mod tests {
 
     #[test]
     fn oversized_request_rejected() {
-        let srv =
-            ReplicaServer::spawn(ReplicaId(3), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
+        let srv = ReplicaServer::spawn(ReplicaId(3), GpuProfile::L4_LLAMA_8B, 0.001).unwrap();
         let mut conn = connect(srv.addr());
         // Prompt bigger than the whole KV capacity.
-        write_frame(&mut conn, &Message::Infer {
-            request_id: 9,
-            session_key: "u".into(),
-            prompt: vec![7; 60_000],
-            max_new_tokens: 1,
-            hops: 0,
-        })
+        write_frame(
+            &mut conn,
+            &Message::Infer {
+                request_id: 9,
+                session_key: "u".into(),
+                prompt: vec![7; 60_000],
+                max_new_tokens: 1,
+                hops: 0,
+            },
+        )
         .unwrap();
         match read_frame(&mut conn).unwrap() {
             Message::Reject { request_id, .. } => assert_eq!(request_id, 9),

@@ -1,0 +1,27 @@
+//! Minimal synchronization shims over `std::sync`.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! `parking_lot` this module wraps [`std::sync::Mutex`] with the same
+//! ergonomic, non-poisoning `lock()` the servers were written against: a
+//! panic while holding the lock must not wedge every other connection
+//! thread behind a `PoisonError`.
+
+/// A mutex whose `lock()` never fails: poisoning from a panicked holder
+/// is swallowed and the inner data returned as-is (the servers' shared
+/// state stays valid across request-handler panics).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poison.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

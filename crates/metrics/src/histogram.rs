@@ -187,7 +187,9 @@ mod tests {
         h.record(7.5);
         let s = h.summary();
         assert_eq!(s.count, 1);
-        for v in [s.p10, s.p25, s.p50, s.p75, s.p90, s.p99, s.mean, s.min, s.max] {
+        for v in [
+            s.p10, s.p25, s.p50, s.p75, s.p90, s.p99, s.mean, s.min, s.max,
+        ] {
             assert_eq!(v, 7.5);
         }
     }

@@ -136,7 +136,10 @@ mod tests {
     fn resolves_nearest_for_uncovered_region() {
         let dns = trio_resolver();
         // eu-central's nearest advertised endpoint is eu-west.
-        assert_eq!(dns.resolve(Region::EuCentral).unwrap().region, Region::EuWest);
+        assert_eq!(
+            dns.resolve(Region::EuCentral).unwrap().region,
+            Region::EuWest
+        );
         // us-west's nearest advertised endpoint is us-east.
         assert_eq!(dns.resolve(Region::UsWest).unwrap().region, Region::UsEast);
     }

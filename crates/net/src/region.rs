@@ -301,7 +301,10 @@ mod tests {
     #[test]
     fn uniform_model() {
         let net = LatencyModel::uniform(1, 100);
-        assert_eq!(net.rtt(Region::UsEast, Region::UsEast), SimDuration::from_millis(1));
+        assert_eq!(
+            net.rtt(Region::UsEast, Region::UsEast),
+            SimDuration::from_millis(1)
+        );
         assert_eq!(
             net.rtt(Region::UsEast, Region::EuWest),
             SimDuration::from_millis(100)
@@ -312,7 +315,10 @@ mod tests {
     fn nearest_picks_lowest_rtt() {
         let net = LatencyModel::default_wan();
         let nearest = net
-            .nearest(Region::UsEast, &[Region::EuWest, Region::UsWest, Region::ApNortheast])
+            .nearest(
+                Region::UsEast,
+                &[Region::EuWest, Region::UsWest, Region::ApNortheast],
+            )
             .unwrap();
         assert_eq!(nearest, Region::UsWest);
         assert_eq!(net.nearest(Region::UsEast, &[]), None);

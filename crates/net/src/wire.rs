@@ -406,7 +406,10 @@ mod tests {
     #[test]
     fn rejects_bad_tag() {
         let encoded = vec![WIRE_VERSION, 200];
-        assert!(matches!(Message::decode(&encoded), Err(WireError::BadTag(200))));
+        assert!(matches!(
+            Message::decode(&encoded),
+            Err(WireError::BadTag(200))
+        ));
     }
 
     #[test]
@@ -420,7 +423,8 @@ mod tests {
         for cut in 1..full.len() {
             let r = Message::decode(&full[..cut]);
             assert!(
-                matches!(r, Err(WireError::Truncated)) || matches!(r, Err(WireError::BadVersion(_))),
+                matches!(r, Err(WireError::Truncated))
+                    || matches!(r, Err(WireError::BadVersion(_))),
                 "cut at {cut}: {r:?}"
             );
         }

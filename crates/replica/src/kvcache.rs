@@ -419,8 +419,7 @@ impl PrefixCache {
         let mut extra = 0u64;
         if let Some((child, keep)) = wp.pending_split {
             let len = self.nodes[child].seg.len();
-            extra += self.cfg.charge(keep) + self.cfg.charge(len - keep)
-                - self.cfg.charge(len);
+            extra += self.cfg.charge(keep) + self.cfg.charge(len - keep) - self.cfg.charge(len);
         }
         extra += self.cfg.charge(tokens.len() - wp.matched);
         self.ensure_free(extra)
@@ -806,10 +805,12 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use skywalker_sim::DetRng;
 
         /// A random op sequence against a small cache, checking invariants
-        /// after every operation.
+        /// after every operation. (Seeded-random rather than
+        /// proptest-driven: the workspace builds offline with no external
+        /// crates.)
         #[derive(Debug, Clone)]
         enum Op {
             Acquire(Vec<u32>),
@@ -818,28 +819,33 @@ mod tests {
             Clear,
         }
 
-        fn op_strategy() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                prop::collection::vec(0u32..8, 0..12).prop_map(Op::Acquire),
-                Just(Op::ReleaseOldest),
-                prop::collection::vec(0u32..8, 0..6).prop_map(Op::CompleteOldest),
-                Just(Op::Clear),
-            ]
+        fn random_tokens(rng: &mut DetRng, alphabet: u64, max_len: u64) -> Vec<u32> {
+            let len = rng.below(max_len);
+            (0..len).map(|_| rng.below(alphabet) as u32).collect()
         }
 
-        proptest! {
-            #[test]
-            fn invariants_hold_under_random_ops(
-                ops in prop::collection::vec(op_strategy(), 1..60),
-                cap in 8u64..128,
-            ) {
+        fn random_op(rng: &mut DetRng) -> Op {
+            match rng.below(4) {
+                0 => Op::Acquire(random_tokens(rng, 8, 12)),
+                1 => Op::ReleaseOldest,
+                2 => Op::CompleteOldest(random_tokens(rng, 8, 6)),
+                _ => Op::Clear,
+            }
+        }
+
+        #[test]
+        fn invariants_hold_under_random_ops() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "kvcache/ops-property");
+                let cap = rng.range(8, 128);
+                let ops: Vec<Op> = (0..rng.range(1, 60)).map(|_| random_op(&mut rng)).collect();
                 let mut c = PrefixCache::new(KvConfig::tiny(cap));
                 let mut leases: Vec<Lease> = Vec::new();
                 for op in ops {
                     match op {
                         Op::Acquire(toks) => {
                             if let Ok((l, cached)) = c.acquire(&toks) {
-                                prop_assert!(cached <= toks.len() as u64);
+                                assert!(cached <= toks.len() as u64, "case {case}");
                                 leases.push(l);
                             }
                         }
@@ -862,40 +868,44 @@ mod tests {
                 }
                 c.check_invariants();
                 // After releasing everything, the whole cache is reclaimable.
-                prop_assert_eq!(c.reclaimable_tokens(), c.used_tokens());
+                assert_eq!(c.reclaimable_tokens(), c.used_tokens(), "case {case}");
             }
+        }
 
-            #[test]
-            fn matched_never_exceeds_query_or_mutates(
-                a in prop::collection::vec(0u32..6, 0..16),
-                b in prop::collection::vec(0u32..6, 0..16),
-            ) {
+        #[test]
+        fn matched_never_exceeds_query_or_mutates() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "kvcache/matched-property");
+                let a = random_tokens(&mut rng, 6, 16);
+                let b = random_tokens(&mut rng, 6, 16);
                 let mut c = PrefixCache::new(KvConfig::tiny(4096));
                 let (l, _) = c.acquire(&a).unwrap();
                 let used = c.used_tokens();
                 let m = c.matched_tokens(&b);
-                prop_assert!(m <= b.len() as u64);
-                prop_assert_eq!(used, c.used_tokens());
+                assert!(m <= b.len() as u64, "case {case}");
+                assert_eq!(used, c.used_tokens(), "case {case}");
                 // Common prefix of a and b is a lower bound on the match.
                 let common = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
-                prop_assert!(m >= common as u64);
+                assert!(m >= common as u64, "case {case}");
                 c.release(l);
             }
+        }
 
-            #[test]
-            fn hit_rate_bounded(
-                prompts in prop::collection::vec(
-                    prop::collection::vec(0u32..4, 1..10),
-                    1..20
-                ),
-            ) {
+        #[test]
+        fn hit_rate_bounded() {
+            for case in 0..200u64 {
+                let mut rng = DetRng::for_component(case, "kvcache/hit-rate-property");
                 let mut c = PrefixCache::new(KvConfig::tiny(65536));
-                for p in &prompts {
-                    let (l, _) = c.acquire(p).unwrap();
+                for _ in 0..rng.range(1, 20) {
+                    let mut p = random_tokens(&mut rng, 4, 10);
+                    if p.is_empty() {
+                        p.push(0);
+                    }
+                    let (l, _) = c.acquire(&p).unwrap();
                     c.release(l);
                 }
                 let hr = c.hit_rate();
-                prop_assert!((0.0..=1.0).contains(&hr));
+                assert!((0.0..=1.0).contains(&hr), "case {case}: hit rate {hr}");
             }
         }
     }

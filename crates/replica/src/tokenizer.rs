@@ -74,7 +74,10 @@ mod tests {
         let a = tokenize("system: you are helpful. user: what is 2+2");
         let b = tokenize("system: you are helpful. user: write a poem");
         let shared = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
-        assert_eq!(shared, 5, "the shared five-word prefix tokenizes identically");
+        assert_eq!(
+            shared, 5,
+            "the shared five-word prefix tokenizes identically"
+        );
     }
 
     #[test]
@@ -88,6 +91,10 @@ mod tests {
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), ids.len(), "no collisions in a small vocabulary");
+        assert_eq!(
+            dedup.len(),
+            ids.len(),
+            "no collisions in a small vocabulary"
+        );
     }
 }

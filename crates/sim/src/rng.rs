@@ -9,11 +9,9 @@
 //!    replica) does not perturb the random streams of unrelated components.
 //!
 //! The generator is SplitMix64 followed by xoshiro256++, implemented here
-//! directly (tiny, well-studied, and avoids depending on `rand`'s
-//! small-rng feature set for the deterministic paths). It also implements
-//! [`rand::RngCore`] so it composes with the `rand` ecosystem.
-
-use rand::RngCore;
+//! directly (tiny, well-studied, and keeps the workspace free of external
+//! dependencies — the deterministic paths must not drift with a crate
+//! upgrade anyway).
 
 /// Hashes a string label to a 64-bit stream id (FNV-1a).
 fn fnv1a(label: &str) -> u64 {
@@ -98,6 +96,29 @@ impl DetRng {
     /// Public alias for drawing a raw `u64` (used in doctests).
     pub fn next_u64_pub(&mut self) -> u64 {
         self.next()
+    }
+
+    /// Draws a raw `u32` (the high half of one generator step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Draws a raw `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
     }
 
     /// Uniform float in `[0, 1)`.
@@ -193,9 +214,7 @@ impl DetRng {
             }
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 
     /// Fisher–Yates shuffle.
@@ -213,33 +232,6 @@ impl DetRng {
         } else {
             Some(&items[self.below(items.len() as u64) as usize])
         }
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -290,8 +290,14 @@ mod tests {
 
     #[test]
     fn duration_scalar_ops() {
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 4, SimDuration::from_micros(2_500));
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 4,
+            SimDuration::from_micros(2_500)
+        );
         assert_eq!(
             SimDuration::from_millis(10).mul_f64(2.5),
             SimDuration::from_millis(25)

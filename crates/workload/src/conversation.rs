@@ -228,7 +228,7 @@ fn generate_conversation(
             fragment(label(&[0x61, t]), cfg.template_tokens)
         }
     };
-    let persona = fragment(label(&[0x9E&0xFFFF, user_id]), cfg.persona_tokens);
+    let persona = fragment(label(&[0x9E & 0xFFFF, user_id]), cfg.persona_tokens);
 
     let turns = rng.range(
         u64::from(cfg.turns_per_conversation.0),
@@ -272,8 +272,7 @@ mod tests {
     #[test]
     fn turns_are_sequential_single_request_stages() {
         let mut ids = IdGen::new();
-        let clients =
-            generate_clients(&ConversationConfig::wildchat(), &one_region(), 1, &mut ids);
+        let clients = generate_clients(&ConversationConfig::wildchat(), &one_region(), 1, &mut ids);
         assert_eq!(clients.len(), 12);
         for c in &clients {
             assert!(!c.programs.is_empty());
@@ -287,8 +286,7 @@ mod tests {
     #[test]
     fn consecutive_turns_extend_the_prompt_exactly() {
         let mut ids = IdGen::new();
-        let clients =
-            generate_clients(&ConversationConfig::wildchat(), &one_region(), 2, &mut ids);
+        let clients = generate_clients(&ConversationConfig::wildchat(), &one_region(), 2, &mut ids);
         let p = &clients[0].programs[0];
         for pair in p.stages.windows(2) {
             let a = &pair[0][0];
@@ -314,8 +312,7 @@ mod tests {
     #[test]
     fn request_ids_globally_unique() {
         let mut ids = IdGen::new();
-        let clients =
-            generate_clients(&ConversationConfig::arena(), &one_region(), 3, &mut ids);
+        let clients = generate_clients(&ConversationConfig::arena(), &one_region(), 3, &mut ids);
         let mut seen: Vec<u64> = clients
             .iter()
             .flat_map(|c| c.programs.iter())
@@ -331,12 +328,10 @@ mod tests {
     #[test]
     fn session_key_stable_within_conversation() {
         let mut ids = IdGen::new();
-        let clients =
-            generate_clients(&ConversationConfig::wildchat(), &one_region(), 4, &mut ids);
+        let clients = generate_clients(&ConversationConfig::wildchat(), &one_region(), 4, &mut ids);
         for c in &clients {
             for p in &c.programs {
-                let keys: Vec<&str> =
-                    p.requests().map(|r| r.session_key.as_str()).collect();
+                let keys: Vec<&str> = p.requests().map(|r| r.session_key.as_str()).collect();
                 assert!(keys.windows(2).all(|w| w[0] == w[1]));
             }
         }
@@ -361,8 +356,7 @@ mod tests {
             (Region::EuWest, 10),
             (Region::ApNortheast, 10),
         ];
-        let clients =
-            generate_clients(&ConversationConfig::wildchat(), &regions, 11, &mut ids);
+        let clients = generate_clients(&ConversationConfig::wildchat(), &regions, 11, &mut ids);
 
         // Group prompts by user.
         let user_groups: Vec<Vec<Vec<u32>>> = clients

@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn fig3_per_region_variance_spans_paper_range() {
-        let profiles: Vec<DiurnalProfile> =
-            fig3_regions().into_iter().map(|(_, p)| p).collect();
+        let profiles: Vec<DiurnalProfile> = fig3_regions().into_iter().map(|(_, p)| p).collect();
         let ratios: Vec<f64> = profiles.iter().map(|p| p.variance_ratio()).collect();
         let lo = ratios.iter().copied().fold(f64::MAX, f64::min);
         let hi = ratios.iter().copied().fold(f64::MIN, f64::max);
@@ -265,8 +264,7 @@ mod tests {
 
     #[test]
     fn fig3_aggregation_smooths_variance() {
-        let profiles: Vec<DiurnalProfile> =
-            fig3_regions().into_iter().map(|(_, p)| p).collect();
+        let profiles: Vec<DiurnalProfile> = fig3_regions().into_iter().map(|(_, p)| p).collect();
         let agg = aggregate_hourly(&profiles);
         let ratio = variance_ratio(&agg);
         // Paper: aggregated variance 1.29×. Accept a tolerant band — the

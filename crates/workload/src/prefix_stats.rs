@@ -78,8 +78,16 @@ pub fn grouped_similarity(groups: &[Vec<Vec<u32>>]) -> (f64, f64) {
         }
     }
     (
-        if within_n == 0 { 0.0 } else { within_acc / within_n as f64 },
-        if across_n == 0 { 0.0 } else { across_acc / across_n as f64 },
+        if within_n == 0 {
+            0.0
+        } else {
+            within_acc / within_n as f64
+        },
+        if across_n == 0 {
+            0.0
+        } else {
+            across_acc / across_n as f64
+        },
     )
 }
 
@@ -107,7 +115,11 @@ mod tests {
     #[test]
     fn similarity_definition() {
         assert_eq!(prefix_similarity(&[1, 2, 3], &[1, 2, 3]), 1.0);
-        assert_eq!(prefix_similarity(&[1, 2, 3, 4], &[1, 2]), 1.0, "a prefix of b is 1");
+        assert_eq!(
+            prefix_similarity(&[1, 2, 3, 4], &[1, 2]),
+            1.0,
+            "a prefix of b is 1"
+        );
         assert_eq!(prefix_similarity(&[1, 2, 3, 4], &[1, 2, 9]), 2.0 / 3.0);
         assert_eq!(prefix_similarity(&[5], &[6]), 0.0);
         assert_eq!(prefix_similarity(&[], &[]), 1.0);
@@ -140,10 +152,7 @@ mod tests {
     fn grouped_similarity_weighting_is_pairwise() {
         // One big group of identical requests and one tiny dissimilar
         // group: the big group's many pairs must dominate the average.
-        let groups = vec![
-            vec![vec![1, 2]; 10],
-            vec![vec![3], vec![4]],
-        ];
+        let groups = vec![vec![vec![1, 2]; 10], vec![vec![3], vec![4]]];
         let (within, _) = grouped_similarity(&groups);
         let total_pairs = (10 * 9 / 2 + 1) as f64;
         assert!((within - 45.0 / total_pairs).abs() < 1e-9);
@@ -157,6 +166,7 @@ mod tests {
             vec![vec![7]],
         ];
         let m = similarity_matrix(&users);
+        #[allow(clippy::needless_range_loop)] // i,j index a symmetric matrix
         for i in 0..3 {
             for j in 0..3 {
                 assert!((m[i][j] - m[j][i]).abs() < 1e-12);

@@ -95,7 +95,12 @@ pub fn generate_tree(
         if level == 0 {
             let out_len = cfg.thought.sample(rng);
             let id = ids.next_id();
-            stage.push(Request::new(id, session_key.clone(), question.clone(), out_len));
+            stage.push(Request::new(
+                id,
+                session_key.clone(),
+                question.clone(),
+                out_len,
+            ));
             next_frontier.push((question.clone(), id, out_len));
         } else {
             for (parent_prompt, parent_id, parent_out) in &frontier {
@@ -105,7 +110,12 @@ pub fn generate_tree(
                     prompt.extend((0..*parent_out).map(|k| output_token(*parent_id, k)));
                     let out_len = cfg.thought.sample(rng);
                     let id = ids.next_id();
-                    stage.push(Request::new(id, session_key.clone(), prompt.clone(), out_len));
+                    stage.push(Request::new(
+                        id,
+                        session_key.clone(),
+                        prompt.clone(),
+                        out_len,
+                    ));
                     next_frontier.push((prompt, id, out_len));
                 }
             }

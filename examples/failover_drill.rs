@@ -7,12 +7,11 @@
 //! cargo run --release --example failover_drill
 //! ```
 
+use skywalker::scenarios::balanced_fleet;
 use skywalker::sim::SimTime;
 use skywalker::{
-    run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario, SystemKind,
-    Workload,
+    run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario, SystemKind, Workload,
 };
-use skywalker::scenarios::balanced_fleet;
 
 fn main() {
     let cfg = FabricConfig::default();
@@ -48,11 +47,7 @@ fn main() {
     for (name, s) in [("healthy", &healthy), ("with LB-1 crash", &faulted)] {
         println!(
             "  {:<22} {:>10} {:>10} {:>9.0} {:>7.2}s",
-            name,
-            s.report.completed,
-            s.report.failed,
-            s.report.throughput_tps,
-            s.report.ttft.p90
+            name, s.report.completed, s.report.failed, s.report.throughput_tps, s.report.ttft.p90
         );
     }
 

@@ -28,9 +28,7 @@ fn main() {
         );
     }
     let hourly: Vec<[f64; 24]> = profiles.iter().map(|(_, p)| p.hourly_counts()).collect();
-    let agg = aggregate_hourly(
-        &profiles.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
-    );
+    let agg = aggregate_hourly(&profiles.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>());
     println!(
         "  {:<12} peak-to-trough {:>6.2}x   <- aggregation smooths the day",
         "AGGREGATED",
@@ -72,10 +70,7 @@ fn main() {
         let s = run_scenario(&scenario, &cfg);
         println!(
             "  {:<13} {:>8.0} tok/s   p90 TTFT {:>6.2}s   forwarded {:>4}",
-            s.system.label(),
-            s.report.throughput_tps,
-            s.report.ttft.p90,
-            s.forwarded
+            s.label, s.report.throughput_tps, s.report.ttft.p90, s.forwarded
         );
     }
     println!("\nSkyWalker turns the overloaded US region's queue into work for");

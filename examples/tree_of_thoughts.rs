@@ -32,7 +32,7 @@ fn run_table(workload: Workload, scale: f64) {
         let s = run_scenario(&fig8_scenario(system, workload, scale, 23), &cfg);
         println!(
             "  {:<14} {:>10.0} {:>8.2}s {:>7.1}% {:>11.2}x",
-            s.system.label(),
+            s.label,
             s.report.throughput_tps,
             s.report.e2e.p50,
             100.0 * s.replica_hit_rate,

@@ -12,9 +12,10 @@
 //! KV-cache hit rate, and load-balance diagnostics.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use skywalker_core::{
-    BalancerConfig, ControlAction, Controller, Decision, LbId, PolicyKind, PushMode,
+    BalancerConfig, ControlAction, Controller, Decision, LbId, PolicyFactory, PolicyKind, PushMode,
     RegionalBalancer, RoutingConstraint,
 };
 use skywalker_metrics::{peak_gap, RequestTracker, RunReport, TimeSeries};
@@ -74,6 +75,13 @@ impl SystemKind {
         }
     }
 
+    /// A [`ScenarioBuilder`] preconfigured with this system's label and
+    /// deployment shape — the FIG8 presets are thin wrappers over the
+    /// builder.
+    pub fn builder(&self) -> ScenarioBuilder {
+        Scenario::builder().system(*self)
+    }
+
     /// The deployment shape this system uses.
     pub fn deployment(&self) -> Deployment {
         match self {
@@ -86,9 +94,7 @@ impl SystemKind {
             },
             SystemKind::RoundRobin => Deployment::centralized(PolicyKind::RoundRobin),
             SystemKind::LeastLoad => Deployment::centralized(PolicyKind::LeastLoad),
-            SystemKind::ConsistentHash => {
-                Deployment::centralized(PolicyKind::ConsistentHash)
-            }
+            SystemKind::ConsistentHash => Deployment::centralized(PolicyKind::ConsistentHash),
             SystemKind::SglRouter => Deployment::centralized(PolicyKind::CacheAware),
             SystemKind::SkyWalkerCh => Deployment::PerRegion {
                 policy: PolicyKind::ConsistentHash,
@@ -177,20 +183,31 @@ pub struct FaultEvent {
     pub down: bool,
 }
 
-/// One experiment: a system, a fleet, a client population, faults.
+/// One experiment: a deployment shape, a policy, a fleet, a client
+/// population, faults.
+///
+/// Build one with [`Scenario::builder`] (any combination of deployment,
+/// custom [`PolicyFactory`], fleet, workload, faults, and constraint), or
+/// with [`Scenario::new`] for a preset [`SystemKind`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// Which serving system to run.
-    pub system: SystemKind,
+    /// Display label for experiment tables.
+    pub label: String,
+    /// The preset this scenario was derived from, if any. Custom-built
+    /// scenarios have `None` here — nothing in the fabric dispatches on
+    /// it.
+    pub system: Option<SystemKind>,
+    /// The deployment shape to run.
+    pub deployment: Deployment,
+    /// Builds the routing policies for every balancer. `None` runs the
+    /// built-in [`PolicyKind`] named by the deployment.
+    pub policy_factory: Option<Arc<dyn PolicyFactory>>,
     /// The replica fleet.
     pub replicas: Vec<ReplicaPlacement>,
     /// The closed-loop client population.
     pub clients: Vec<ClientSpec>,
     /// Balancer fault injections.
     pub faults: Vec<FaultEvent>,
-    /// Replaces the system's standard deployment shape (for ablations
-    /// such as Fig. 9's BP / SP-O / SP-P sweep).
-    pub deployment_override: Option<Deployment>,
 }
 
 impl Scenario {
@@ -200,19 +217,154 @@ impl Scenario {
         replicas: Vec<ReplicaPlacement>,
         clients: Vec<ClientSpec>,
     ) -> Self {
-        Scenario {
-            system,
-            replicas,
-            clients,
-            faults: Vec::new(),
-            deployment_override: None,
-        }
+        system.builder().replicas(replicas).clients(clients).build()
+    }
+
+    /// An empty builder: configure deployment, policy, fleet, workload,
+    /// faults, and constraints fluently, then [`ScenarioBuilder::build`].
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
     }
 
     /// Overrides the deployment shape (ablation studies).
     pub fn with_deployment(mut self, deployment: Deployment) -> Self {
-        self.deployment_override = Some(deployment);
+        self.deployment = deployment;
         self
+    }
+}
+
+/// Fluent construction of a [`Scenario`] — the open counterpart of the
+/// [`SystemKind`] presets. Custom systems (own deployment shape, own
+/// [`PolicyFactory`]) plug in here without touching the fabric.
+///
+/// ```
+/// use skywalker::fabric::{Deployment, Scenario};
+/// use skywalker::scenarios::{balanced_fleet, Workload};
+/// use skywalker::core::{PolicyKind, PushMode, RoutingConstraint};
+///
+/// let scenario = Scenario::builder()
+///     .deployment(Deployment::PerRegion {
+///         policy: PolicyKind::CacheAware,
+///         push: PushMode::Pending,
+///         forward: true,
+///         tau: 4,
+///         constraint: RoutingConstraint::Unrestricted,
+///     })
+///     .replicas(balanced_fleet())
+///     .workload(Workload::Tot, 0.02, 7)
+///     .constraint(RoutingConstraint::ContinentLocal)
+///     .label("custom-tot")
+///     .build();
+/// assert_eq!(scenario.label, "custom-tot");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    label: Option<String>,
+    system: Option<SystemKind>,
+    deployment: Option<Deployment>,
+    policy_factory: Option<Arc<dyn PolicyFactory>>,
+    replicas: Vec<ReplicaPlacement>,
+    clients: Vec<ClientSpec>,
+    faults: Vec<FaultEvent>,
+    constraint: Option<RoutingConstraint>,
+}
+
+impl ScenarioBuilder {
+    /// Starts from a preset: adopts the system's deployment shape and
+    /// label (both still overridable by later calls).
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Sets the display label (defaults to the preset's label, then the
+    /// policy factory's, then `"custom"`).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the deployment shape explicitly.
+    pub fn deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = Some(deployment);
+        self
+    }
+
+    /// Installs a custom policy factory: every balancer's local and
+    /// remote policies come from it instead of the deployment's built-in
+    /// [`PolicyKind`].
+    pub fn policy_factory(mut self, factory: impl PolicyFactory + 'static) -> Self {
+        self.policy_factory = Some(Arc::new(factory));
+        self
+    }
+
+    /// As [`ScenarioBuilder::policy_factory`], for an already-shared
+    /// factory.
+    pub fn policy_factory_arc(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
+        self.policy_factory = Some(factory);
+        self
+    }
+
+    /// Sets the replica fleet.
+    pub fn replicas(mut self, replicas: Vec<ReplicaPlacement>) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the closed-loop client population directly. See also
+    /// `ScenarioBuilder::workload` (defined alongside the workload
+    /// generators) for the paper's populations by name.
+    pub fn clients(mut self, clients: Vec<ClientSpec>) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Replaces the fault schedule.
+    pub fn faults(mut self, faults: Vec<FaultEvent>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Appends one fault injection.
+    pub fn fault(mut self, fault: FaultEvent) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Applies a regulatory routing constraint to the deployment. Only
+    /// meaningful for per-region shapes (a centralized balancer never
+    /// forwards, so there is nothing to constrain).
+    pub fn constraint(mut self, constraint: RoutingConstraint) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// Assembles the scenario. Defaults: SkyWalker's deployment shape if
+    /// none was set, no faults, built-in policies.
+    pub fn build(self) -> Scenario {
+        let mut deployment = self
+            .deployment
+            .or_else(|| self.system.map(|s| s.deployment()))
+            .unwrap_or_else(|| SystemKind::SkyWalker.deployment());
+        if let Some(c) = self.constraint {
+            if let Deployment::PerRegion { constraint, .. } = &mut deployment {
+                *constraint = c;
+            }
+        }
+        let label = self
+            .label
+            .or_else(|| self.system.map(|s| s.label().to_string()))
+            .or_else(|| self.policy_factory.as_ref().map(|f| f.label()))
+            .unwrap_or_else(|| "custom".to_string());
+        Scenario {
+            label,
+            system: self.system,
+            deployment,
+            policy_factory: self.policy_factory,
+            replicas: self.replicas,
+            clients: self.clients,
+            faults: self.faults,
+        }
     }
 }
 
@@ -237,6 +389,11 @@ pub struct FabricConfig {
     pub trie_max_tokens: usize,
     /// Hit-ratio threshold of the cache-aware policy (§5.1: 0.5).
     pub affinity_threshold: f64,
+    /// Load-gap override of the cache-aware policy: beyond this many
+    /// outstanding requests between the most and least loaded candidate,
+    /// affinity yields to shortest-queue routing (the SGLang router's
+    /// default is 32).
+    pub balance_abs_threshold: u32,
 }
 
 impl Default for FabricConfig {
@@ -251,6 +408,7 @@ impl Default for FabricConfig {
             deadline: SimTime::from_secs(4 * 3600),
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
+            balance_abs_threshold: 32,
         }
     }
 }
@@ -258,8 +416,10 @@ impl Default for FabricConfig {
 /// Results of one scenario run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
-    /// The system that ran.
-    pub system: SystemKind,
+    /// Display label of the scenario that ran.
+    pub label: String,
+    /// The preset the scenario was derived from, if any.
+    pub system: Option<SystemKind>,
     /// Client-observed metrics (throughput, TTFT, E2E, hit rate).
     pub report: RunReport,
     /// Virtual time when the run ended.
@@ -401,21 +561,27 @@ impl Fabric {
         }
         let Some(ep) = self.dns.resolve(region) else {
             // Total outage: retry later.
-            sched.after(self.cfg.retry_delay, Ev::Retry {
-                client: client_idx,
-                req,
-            });
+            sched.after(
+                self.cfg.retry_delay,
+                Ev::Retry {
+                    client: client_idx,
+                    req,
+                },
+            );
             return;
         };
         let delay = self
             .cfg
             .net
             .sample_one_way(region, ep.region, &mut self.rng);
-        sched.after(delay, Ev::LbReceive {
-            lb: ep.lb_id,
-            req,
-            hops: 0,
-        });
+        sched.after(
+            delay,
+            Ev::LbReceive {
+                lb: ep.lb_id,
+                req,
+                hops: 0,
+            },
+        );
     }
 
     fn route_decisions(&mut self, lb: u32, decisions: Vec<Decision>, sched: &mut Scheduler<Ev>) {
@@ -429,10 +595,13 @@ impl Fabric {
                         self.replica_region[replica.0 as usize],
                         &mut self.rng,
                     );
-                    sched.after(delay, Ev::ReplicaReceive {
-                        replica: replica.0,
-                        req,
-                    });
+                    sched.after(
+                        delay,
+                        Ev::ReplicaReceive {
+                            replica: replica.0,
+                            req,
+                        },
+                    );
                 }
                 Decision::Forward { req, peer, hops } => {
                     let delay = self.cfg.net.sample_one_way(
@@ -440,11 +609,14 @@ impl Fabric {
                         self.lbs[peer.0 as usize].region(),
                         &mut self.rng,
                     );
-                    sched.after(delay, Ev::LbReceive {
-                        lb: peer.0,
-                        req,
-                        hops,
-                    });
+                    sched.after(
+                        delay,
+                        Ev::LbReceive {
+                            lb: peer.0,
+                            req,
+                            hops,
+                        },
+                    );
                 }
             }
         }
@@ -525,7 +697,11 @@ impl Fabric {
                 }
                 ControlAction::Reassign { replica, from, to } => {
                     self.lbs[from.0 as usize].remove_replica(replica);
-                    self.lbs[to.0 as usize].add_replica(replica);
+                    // Preserve the replica's true region: a re-homed
+                    // replica is remote to its adoptive balancer, and
+                    // locality-aware policies should see that.
+                    let region = self.replica_region[replica.0 as usize];
+                    self.lbs[to.0 as usize].add_replica_in(replica, region);
                     sched.at(now, Ev::LbDispatch { lb: to.0 });
                 }
             }
@@ -600,11 +776,14 @@ impl World for Fabric {
                     let out = self.replicas[i].step();
                     if out.worked() {
                         self.replica_stepping[i] = true;
-                        sched.after(out.duration, Ev::IterationDone {
-                            replica,
-                            first_tokens: out.first_tokens,
-                            completions: out.completions,
-                        });
+                        sched.after(
+                            out.duration,
+                            Ev::IterationDone {
+                                replica,
+                                first_tokens: out.first_tokens,
+                                completions: out.completions,
+                            },
+                        );
                         return;
                     }
                     // Head request can never fit: fail it and keep going.
@@ -649,10 +828,13 @@ impl World for Fabric {
                             self.clients[client].spec.region,
                             &mut self.rng,
                         );
-                        sched.after(delay, Ev::DeliverCompletion {
-                            client,
-                            completion: c,
-                        });
+                        sched.after(
+                            delay,
+                            Ev::DeliverCompletion {
+                                client,
+                                completion: c,
+                            },
+                        );
                     }
                 }
                 sched.at(now, Ev::ReplicaKick { replica });
@@ -715,12 +897,15 @@ impl World for Fabric {
                                 from_region,
                                 &mut self.rng,
                             );
-                            sched.after(delay, Ev::PeerStatus {
-                                to: to as u32,
-                                from,
-                                avail,
-                                qlen,
-                            });
+                            sched.after(
+                                delay,
+                                Ev::PeerStatus {
+                                    to: to as u32,
+                                    from,
+                                    avail,
+                                    qlen,
+                                },
+                            );
                         }
                     }
                 }
@@ -775,9 +960,13 @@ impl World for Fabric {
 
 /// Runs one scenario to completion (all clients done, or the deadline).
 pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
-    let deployment = scenario
-        .deployment_override
-        .unwrap_or_else(|| scenario.system.deployment());
+    let deployment = scenario.deployment;
+    // Custom factory if the scenario carries one, else the deployment's
+    // built-in policy kind (PolicyKind itself implements PolicyFactory).
+    let default_kind = match deployment {
+        Deployment::Centralized { policy, .. } | Deployment::PerRegion { policy, .. } => policy,
+    };
+    let factory: &dyn PolicyFactory = scenario.policy_factory.as_deref().unwrap_or(&default_kind);
 
     // Decide balancer placement.
     let mut lb_regions: Vec<Region> = Vec::new();
@@ -810,6 +999,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
                 tau: 0,
                 trie_max_tokens: cfg.trie_max_tokens,
                 affinity_threshold: cfg.affinity_threshold,
+                balance_abs_threshold: cfg.balance_abs_threshold,
                 max_hops: 0,
                 constraint: RoutingConstraint::Unrestricted,
             },
@@ -826,11 +1016,16 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
                 tau,
                 trie_max_tokens: cfg.trie_max_tokens,
                 affinity_threshold: cfg.affinity_threshold,
+                balance_abs_threshold: cfg.balance_abs_threshold,
                 max_hops: u8::from(forward),
                 constraint,
             },
         };
-        lbs.push(RegionalBalancer::new(LbId(i as u32), bcfg));
+        lbs.push(RegionalBalancer::with_factory(
+            LbId(i as u32),
+            bcfg,
+            factory,
+        ));
         dns.advertise(Endpoint {
             region,
             lb_id: i as u32,
@@ -863,7 +1058,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
                 .position(|r| *r == p.region)
                 .expect("replica region has a balancer"),
         };
-        lbs[home].add_replica(rid);
+        lbs[home].add_replica_in(rid, p.region);
         controller.register_replica(rid, LbId(home as u32));
     }
 
@@ -909,10 +1104,13 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     engine.schedule(SimTime::ZERO, Ev::HeartbeatTick);
     engine.schedule(SimTime::ZERO + cfg.heartbeat_interval, Ev::ControllerTick);
     for f in &scenario.faults {
-        engine.schedule(f.at, Ev::Fault {
-            lb: f.lb_index,
-            down: f.down,
-        });
+        engine.schedule(
+            f.at,
+            Ev::Fault {
+                lb: f.lb_index,
+                down: f.down,
+            },
+        );
     }
 
     let stats = engine.run_until(&mut world, cfg.deadline);
@@ -961,6 +1159,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     let kv_peak_gap = peak_gap(&series_refs);
 
     RunSummary {
+        label: scenario.label.clone(),
         system: scenario.system,
         report,
         end_time: end,

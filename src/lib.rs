@@ -13,38 +13,70 @@
 //! | `skywalker-net` | regions, WAN latency model, DNS, wire codec |
 //! | `skywalker-replica` | continuous-batching replica with radix KV cache |
 //! | `skywalker-workload` | WildChat/Arena/ToT-style trace generators |
-//! | `skywalker-core` | the balancer: policies, selective pushing, trie, ring, controller |
+//! | `skywalker-core` | the balancer: the open [`RoutingPolicy`] trait and its four built-ins, selective pushing, trie, ring, controller |
 //! | `skywalker-cost` | reserved/on-demand provisioning cost model |
 //! | `skywalker-metrics` | histograms, request tracking, time series |
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
-//! | this crate | the [`fabric`] tying everything into runnable scenarios |
+//! | this crate | the [`fabric`] with [`ScenarioBuilder`], the preset [`scenarios`], and [`P2cLocal`] — a custom policy built on the open surface |
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use skywalker::fabric::{run_scenario, FabricConfig, SystemKind};
-//! use skywalker::scenarios::{fig8_scenario, Workload};
+//! Scenarios are assembled with a fluent builder: pick a deployment
+//! shape (or start from a [`SystemKind`] preset), a fleet, a workload,
+//! and optionally a custom routing policy, then run it:
 //!
-//! // A small ChatBot Arena run on SkyWalker's deployment shape.
-//! let scenario = fig8_scenario(SystemKind::SkyWalker, Workload::Arena, 0.05, 7);
+//! ```
+//! use skywalker::{run_scenario, FabricConfig, P2cLocalFactory, Scenario};
+//! use skywalker::scenarios::{balanced_fleet, Workload};
+//!
+//! // A small ToT run on SkyWalker's per-region deployment shape, but
+//! // routed by a policy the paper never shipped: power-of-two-choices
+//! // with locality weighting, plugged in from outside the core crate.
+//! let scenario = Scenario::builder()
+//!     .replicas(balanced_fleet())
+//!     .workload(Workload::Tot, 0.02, 7)
+//!     .policy_factory(P2cLocalFactory::new(7))
+//!     .build();
 //! let summary = run_scenario(&scenario, &FabricConfig::default());
 //! assert!(summary.report.completed > 0);
 //! println!(
-//!     "throughput: {:.0} tok/s, p50 TTFT: {:.3}s",
-//!     summary.report.throughput_tps, summary.report.ttft.p50
+//!     "{}: {:.0} tok/s, p50 TTFT {:.3}s",
+//!     summary.label, summary.report.throughput_tps, summary.report.ttft.p50
 //! );
 //! ```
+//!
+//! The paper's seven systems remain available as presets — each is now a
+//! thin wrapper over the same builder:
+//!
+//! ```
+//! use skywalker::{fig8_scenario, run_scenario, FabricConfig, SystemKind, Workload};
+//!
+//! let scenario = fig8_scenario(SystemKind::SkyWalker, Workload::Arena, 0.05, 7);
+//! let summary = run_scenario(&scenario, &FabricConfig::default());
+//! assert!(summary.report.completed > 0);
+//! ```
+//!
+//! ## Extending
+//!
+//! Routing policies are open: implement
+//! [`RoutingPolicy`](core::RoutingPolicy) (one required method) and a
+//! [`PolicyFactory`](core::PolicyFactory), hand the factory to
+//! [`ScenarioBuilder::policy_factory`], and the same implementation runs
+//! in the simulator and behind the live TCP servers. The full recipe
+//! lives in `docs/extending.md`; [`P2cLocal`] is the worked example.
 
 pub mod fabric;
+mod p2c;
 pub mod scenarios;
 
 pub use fabric::{
-    run_scenario, Deployment, FabricConfig, FaultEvent, ReplicaPlacement, RunSummary,
-    Scenario, SystemKind,
+    run_scenario, Deployment, FabricConfig, FaultEvent, ReplicaPlacement, RunSummary, Scenario,
+    ScenarioBuilder, SystemKind,
 };
+pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
-    balanced_fleet, fig10_scenario, fig8_scenario, fig9_scenario, l4_fleet,
-    unbalanced_fleet, workload_clients, Workload, REGIONS,
+    balanced_fleet, fig10_scenario, fig8_scenario, fig9_scenario, l4_fleet, unbalanced_fleet,
+    workload_clients, Workload, REGIONS,
 };
 
 // Re-export the member crates under stable names so downstream users can

@@ -1,0 +1,245 @@
+//! Power-of-two-choices routing with locality weighting — a policy the
+//! paper does *not* ship, implemented entirely outside `skywalker-core`
+//! as the worked proof that the [`RoutingPolicy`] surface is open.
+//!
+//! Classic P2C (Mitzenmacher) samples two candidates uniformly and takes
+//! the less loaded one: almost all of least-load's balance at a fraction
+//! of its herd behavior, because two random choices rarely stampede the
+//! same target between probe refreshes. [`P2cLocal`] adds a locality
+//! weight on top: a candidate on another continent pays a fixed load
+//! penalty, so under comparable load the policy keeps traffic close to
+//! home, and only when the local side is genuinely deeper by more than
+//! the penalty does it spill across the ocean — a smooth version of the
+//! "local first, remote only on overload" rule that SkyWalker hard-codes
+//! structurally.
+//!
+//! The same instance serves both layers of the two-layer design: at the
+//! replica layer every candidate is home-region (the penalty never
+//! fires) and the policy degrades to pure P2C; at the peer layer the
+//! candidates carry their regions and locality weighting kicks in.
+//!
+//! Nothing here touches `skywalker-core` internals: the policy uses only
+//! the public trait, [`TargetState`], and [`PolicyFactory`]. See
+//! `docs/extending.md` for the recipe.
+
+use skywalker_core::{BalancerConfig, LbId, PolicyFactory, RingTarget, RoutingPolicy, TargetState};
+use skywalker_net::Region;
+use skywalker_replica::ReplicaId;
+use skywalker_sim::DetRng;
+
+/// Power-of-two-choices with a locality weight (see module docs).
+#[derive(Debug, Clone)]
+pub struct P2cLocal {
+    /// The region whose continent counts as "local".
+    home: Region,
+    /// Load penalty added to candidates on another continent.
+    locality_penalty: u32,
+    /// Deterministic sampling stream (the simulator replays runs
+    /// bit-for-bit, so ambient entropy is off the table).
+    rng: DetRng,
+}
+
+impl P2cLocal {
+    /// A policy homed in `home` with the given cross-continent penalty.
+    pub fn new(home: Region, locality_penalty: u32, rng: DetRng) -> Self {
+        P2cLocal {
+            home,
+            locality_penalty,
+            rng,
+        }
+    }
+
+    /// Effective load of one candidate: raw load plus the locality
+    /// penalty when it sits on another continent (unknown regions are
+    /// treated as local — the caller simply did not tag them).
+    fn weighted_load<T>(&self, c: &TargetState<T>) -> u64 {
+        let remote = c
+            .region
+            .is_some_and(|r| r.continent() != self.home.continent());
+        u64::from(c.load)
+            + if remote {
+                u64::from(self.locality_penalty)
+            } else {
+                0
+            }
+    }
+}
+
+impl<T: RingTarget> RoutingPolicy<T> for P2cLocal {
+    fn select(&mut self, _key: &str, _prompt: &[u32], candidates: &[TargetState<T>]) -> Option<T> {
+        match candidates.len() {
+            0 => None,
+            1 => Some(candidates[0].id),
+            n => {
+                // Two distinct uniform picks.
+                let i = self.rng.below(n as u64) as usize;
+                let mut j = self.rng.below(n as u64 - 1) as usize;
+                if j >= i {
+                    j += 1;
+                }
+                let (a, b) = (&candidates[i], &candidates[j]);
+                // Lower weighted load wins; ties break toward the
+                // first-sampled candidate (uniform over the pair, not
+                // lowest index — determinism comes from the seeded rng).
+                if self.weighted_load(b) < self.weighted_load(a) {
+                    Some(b.id)
+                } else {
+                    Some(a.id)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "P2C-Local"
+    }
+}
+
+/// Builds [`P2cLocal`] policies for every balancer of a deployment; each
+/// balancer's own region becomes the policy's home, and each layer gets
+/// an independent deterministic sampling stream.
+#[derive(Debug, Clone, Copy)]
+pub struct P2cLocalFactory {
+    /// Root seed for the per-balancer sampling streams.
+    pub seed: u64,
+    /// Cross-continent load penalty (requests). The default of 8 is
+    /// roughly one probe window of work: a remote target must be a full
+    /// burst quieter before it beats a local one.
+    pub locality_penalty: u32,
+}
+
+impl P2cLocalFactory {
+    /// A factory with the default locality penalty of 8.
+    pub fn new(seed: u64) -> Self {
+        P2cLocalFactory {
+            seed,
+            locality_penalty: 8,
+        }
+    }
+}
+
+impl PolicyFactory for P2cLocalFactory {
+    fn build_local(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<ReplicaId>> {
+        Box::new(P2cLocal::new(
+            cfg.region,
+            self.locality_penalty,
+            DetRng::for_component(self.seed, &format!("p2c/{:?}/local", cfg.region)),
+        ))
+    }
+
+    fn build_remote(&self, cfg: &BalancerConfig) -> Box<dyn RoutingPolicy<LbId>> {
+        Box::new(P2cLocal::new(
+            cfg.region,
+            self.locality_penalty,
+            DetRng::for_component(self.seed, &format!("p2c/{:?}/remote", cfg.region)),
+        ))
+    }
+
+    fn label(&self) -> String {
+        "P2C-Local".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(home: Region, penalty: u32, seed: u64) -> P2cLocal {
+        P2cLocal::new(home, penalty, DetRng::for_component(seed, "p2c/test"))
+    }
+
+    #[test]
+    fn prefers_local_region_under_equal_load() {
+        // One overseas candidate among two local ones, all at identical
+        // load: every pair P2C can sample contains a local candidate, and
+        // the weighted comparison must keep traffic at home — across many
+        // draws and several seeds.
+        for seed in 0..8u64 {
+            let mut p = policy(Region::UsEast, 8, seed);
+            let c = vec![
+                TargetState::new(0u32, 5).in_region(Region::ApNortheast),
+                TargetState::new(1u32, 5).in_region(Region::UsEast),
+                TargetState::new(2u32, 5).in_region(Region::UsEast),
+            ];
+            for _ in 0..200 {
+                let picked = p.select("k", &[], &c).unwrap();
+                assert_ne!(picked, 0, "seed {seed}: equal load must stay local");
+            }
+        }
+    }
+
+    #[test]
+    fn spills_under_imbalance() {
+        // The local candidate is deeper than the remote one by more than
+        // the locality penalty: the policy must be willing to spill.
+        let mut p = policy(Region::UsEast, 8, 3);
+        let c = vec![
+            TargetState::new(0u32, 40).in_region(Region::UsEast),
+            TargetState::new(1u32, 2).in_region(Region::EuWest),
+        ];
+        for _ in 0..50 {
+            assert_eq!(p.select("k", &[], &c), Some(1), "overload must spill");
+        }
+        // Within the penalty band, home still wins.
+        let c = vec![
+            TargetState::new(0u32, 6).in_region(Region::UsEast),
+            TargetState::new(1u32, 2).in_region(Region::EuWest),
+        ];
+        for _ in 0..50 {
+            assert_eq!(p.select("k", &[], &c), Some(0), "small gaps stay local");
+        }
+    }
+
+    #[test]
+    fn same_continent_counts_as_local() {
+        // From EuWest, EuCentral is same-continent: no penalty, so equal
+        // load between EuCentral and ApNortheast must pick EuCentral.
+        let mut p = policy(Region::EuWest, 8, 11);
+        let c = vec![
+            TargetState::new(0u32, 3).in_region(Region::ApNortheast),
+            TargetState::new(1u32, 3).in_region(Region::EuCentral),
+        ];
+        for _ in 0..100 {
+            assert_eq!(p.select("k", &[], &c), Some(1));
+        }
+    }
+
+    #[test]
+    fn untagged_candidates_fall_back_to_pure_p2c() {
+        let mut p = policy(Region::UsEast, 8, 17);
+        let c = vec![TargetState::new(0u32, 9), TargetState::new(1u32, 1)];
+        for _ in 0..50 {
+            assert_eq!(p.select("k", &[], &c), Some(1), "pure P2C takes less load");
+        }
+    }
+
+    #[test]
+    fn edge_cases_and_determinism() {
+        let mut p = policy(Region::UsEast, 8, 23);
+        assert_eq!(p.select("k", &[], &[] as &[TargetState<u32>]), None);
+        let single = vec![TargetState::new(7u32, 100)];
+        assert_eq!(p.select("k", &[], &single), Some(7));
+
+        // Identical seeds draw identical pick sequences.
+        let c: Vec<TargetState<u32>> = (0..6).map(|i| TargetState::new(i, (i * 7) % 5)).collect();
+        let mut a = policy(Region::UsEast, 8, 29);
+        let mut b = policy(Region::UsEast, 8, 29);
+        for _ in 0..100 {
+            assert_eq!(a.select("k", &[], &c), b.select("k", &[], &c));
+        }
+    }
+
+    #[test]
+    fn factory_builds_both_layers() {
+        let f = P2cLocalFactory::new(5);
+        let cfg = BalancerConfig::skywalker(Region::EuWest);
+        let mut local = f.build_local(&cfg);
+        let mut remote = f.build_remote(&cfg);
+        assert_eq!(local.name(), "P2C-Local");
+        assert_eq!(f.label(), "P2C-Local");
+        let c = vec![TargetState::new(ReplicaId(0), 0)];
+        assert_eq!(local.select("k", &[], &c), Some(ReplicaId(0)));
+        let c = vec![TargetState::new(LbId(1), 0).in_region(Region::EuCentral)];
+        assert_eq!(remote.select("k", &[], &c), Some(LbId(1)));
+    }
+}

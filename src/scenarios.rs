@@ -17,11 +17,11 @@
 use skywalker_net::Region;
 use skywalker_replica::GpuProfile;
 use skywalker_workload::{
-    generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig,
-    IdGen, TotConfig,
+    generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig, IdGen,
+    TotConfig,
 };
 
-use crate::fabric::{ReplicaPlacement, Scenario, SystemKind};
+use crate::fabric::{ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
 
 /// The paper's three serving regions.
 pub const REGIONS: [Region; 3] = Region::PAPER_TRIO;
@@ -42,21 +42,13 @@ pub fn l4_fleet(counts: &[(Region, u32)]) -> Vec<ReplicaPlacement> {
 
 /// A balanced 12-replica fleet (4 per region), the ToT configuration.
 pub fn balanced_fleet() -> Vec<ReplicaPlacement> {
-    l4_fleet(&[
-        (REGIONS[0], 4),
-        (REGIONS[1], 4),
-        (REGIONS[2], 4),
-    ])
+    l4_fleet(&[(REGIONS[0], 4), (REGIONS[1], 4), (REGIONS[2], 4)])
 }
 
 /// The unbalanced fleet variant (3 US / 2 EU / 3 Asia + 4 extra US = the
 /// paper also tests 3/3/2; we expose the knob).
 pub fn unbalanced_fleet() -> Vec<ReplicaPlacement> {
-    l4_fleet(&[
-        (REGIONS[0], 3),
-        (REGIONS[1], 2),
-        (REGIONS[2], 3),
-    ])
+    l4_fleet(&[(REGIONS[0], 3), (REGIONS[1], 2), (REGIONS[2], 3)])
 }
 
 /// The four macrobenchmark workloads of Fig. 8.
@@ -131,13 +123,8 @@ pub fn workload_clients(workload: Workload, scale: f64, seed: u64) -> Vec<Client
         ),
         Workload::MixedTree => {
             // US: two clients of heavy 4-branch trees; EU/Asia: 2-branch.
-            let mut clients = generate_tot_clients(
-                &TotConfig::branch4(),
-                &[(REGIONS[0], 2)],
-                2,
-                seed,
-                &mut ids,
-            );
+            let mut clients =
+                generate_tot_clients(&TotConfig::branch4(), &[(REGIONS[0], 2)], 2, seed, &mut ids);
             clients.extend(generate_tot_clients(
                 &TotConfig::branch2(),
                 &[(REGIONS[1], n(20)), (REGIONS[2], n(20))],
@@ -150,19 +137,31 @@ pub fn workload_clients(workload: Workload, scale: f64, seed: u64) -> Vec<Client
     }
 }
 
+impl ScenarioBuilder {
+    /// Sets the client population to one of the paper's workloads at the
+    /// given scale (1.0 = the paper's client counts).
+    pub fn workload(self, workload: Workload, scale: f64, seed: u64) -> Self {
+        self.clients(workload_clients(workload, scale, seed))
+    }
+
+    /// Sets the replica fleet to the workload's standard Fig. 8 fleet
+    /// (balanced for tree workloads, unbalanced for conversations).
+    pub fn fig8_fleet(self, workload: Workload) -> Self {
+        match workload {
+            Workload::Tot | Workload::MixedTree => self.replicas(balanced_fleet()),
+            _ => self.replicas(unbalanced_fleet()),
+        }
+    }
+}
+
 /// One cell of the Fig. 8 grid: a system running a workload on the
-/// standard fleet.
-pub fn fig8_scenario(
-    system: SystemKind,
-    workload: Workload,
-    scale: f64,
-    seed: u64,
-) -> Scenario {
-    let fleet = match workload {
-        Workload::Tot | Workload::MixedTree => balanced_fleet(),
-        _ => unbalanced_fleet(),
-    };
-    Scenario::new(system, fleet, workload_clients(workload, scale, seed))
+/// standard fleet — a thin wrapper over [`ScenarioBuilder`].
+pub fn fig8_scenario(system: SystemKind, workload: Workload, scale: f64, seed: u64) -> Scenario {
+    system
+        .builder()
+        .fig8_fleet(workload)
+        .workload(workload, scale, seed)
+        .build()
 }
 
 /// The Fig. 9 single-region microbenchmark: everything co-located in one
@@ -178,18 +177,17 @@ pub fn fig9_scenario(system: SystemKind, replicas: u32, clients: u32, seed: u64)
         seed,
         &mut ids,
     );
-    Scenario::new(system, l4_fleet(&[(region, replicas)]), clients)
+    system
+        .builder()
+        .replicas(l4_fleet(&[(region, replicas)]))
+        .clients(clients)
+        .build()
 }
 
 /// The Fig. 10 diurnal/imbalance experiment: regionally skewed clients
 /// (120 US / 40 EU / 40 Asia at scale 1.0) over an evenly distributed
 /// fleet of `total_replicas`.
-pub fn fig10_scenario(
-    system: SystemKind,
-    total_replicas: u32,
-    scale: f64,
-    seed: u64,
-) -> Scenario {
+pub fn fig10_scenario(system: SystemKind, total_replicas: u32, scale: f64, seed: u64) -> Scenario {
     let per = total_replicas / 3;
     let rem = total_replicas % 3;
     let fleet = l4_fleet(&[
@@ -209,7 +207,7 @@ pub fn fig10_scenario(
         seed,
         &mut ids,
     );
-    Scenario::new(system, fleet, clients)
+    system.builder().replicas(fleet).clients(clients).build()
 }
 
 #[cfg(test)]
@@ -238,10 +236,7 @@ mod tests {
         assert!(tot.iter().all(|c| c.total_requests() == 30));
         let mixed = workload_clients(Workload::MixedTree, 1.0, 1);
         // 2 heavy US clients with 85-request trees.
-        let heavy: Vec<_> = mixed
-            .iter()
-            .filter(|c| c.total_requests() == 170)
-            .collect();
+        let heavy: Vec<_> = mixed.iter().filter(|c| c.total_requests() == 170).collect();
         assert_eq!(heavy.len(), 2);
         assert!(heavy.iter().all(|c| c.region == REGIONS[0]));
     }

@@ -4,8 +4,8 @@
 
 use skywalker::sim::SimTime;
 use skywalker::{
-    balanced_fleet, run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario,
-    SystemKind, Workload,
+    balanced_fleet, run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario, SystemKind,
+    Workload,
 };
 
 fn drill(faults: Vec<FaultEvent>, seed: u64) -> (u64, u64, u64, usize) {
@@ -14,7 +14,12 @@ fn drill(faults: Vec<FaultEvent>, seed: u64) -> (u64, u64, u64, usize) {
     let mut scenario = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
     scenario.faults = faults;
     let s = run_scenario(&scenario, &FabricConfig::default());
-    (s.report.completed, s.report.failed, s.report.in_flight, expected)
+    (
+        s.report.completed,
+        s.report.failed,
+        s.report.in_flight,
+        expected,
+    )
 }
 
 #[test]
@@ -104,8 +109,7 @@ fn faulted_run_matches_healthy_totals() {
         &Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients.clone()),
         &FabricConfig::default(),
     );
-    let mut faulted_scenario =
-        Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
+    let mut faulted_scenario = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
     faulted_scenario.faults = vec![
         FaultEvent {
             at: SimTime::from_secs(15),

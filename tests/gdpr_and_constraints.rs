@@ -37,20 +37,21 @@ fn eu_heavy_scenario(constraint: RoutingConstraint, seed: u64) -> Scenario {
         seed,
         &mut ids,
     );
-    Scenario::new(SystemKind::SkyWalker, fleet, clients).with_deployment(
-        Deployment::PerRegion {
-            policy: PolicyKind::CacheAware,
-            push: PushMode::Pending,
-            forward: true,
-            tau: 4,
-            constraint,
-        },
-    )
+    Scenario::new(SystemKind::SkyWalker, fleet, clients).with_deployment(Deployment::PerRegion {
+        policy: PolicyKind::CacheAware,
+        push: PushMode::Pending,
+        forward: true,
+        tau: 4,
+        constraint,
+    })
 }
 
 #[test]
 fn unrestricted_eu_overload_offloads_to_us() {
-    let s = run_scenario(&eu_heavy_scenario(RoutingConstraint::Unrestricted, 41), &FabricConfig::default());
+    let s = run_scenario(
+        &eu_heavy_scenario(RoutingConstraint::Unrestricted, 41),
+        &FabricConfig::default(),
+    );
     assert!(s.forwarded > 0, "overloaded EU must offload");
     // US replicas actually served work.
     let us_work: u64 = s.replica_stats[1..].iter().map(|r| r.completed).sum();

@@ -33,10 +33,18 @@ fn three_region_topology_serves_and_forwards() {
         })
         .collect();
     // us gets replicas 0-1, eu gets 2-3, ap gets none.
-    lbs[0].attach_replica(ReplicaId(0), replicas[0].addr()).unwrap();
-    lbs[0].attach_replica(ReplicaId(1), replicas[1].addr()).unwrap();
-    lbs[1].attach_replica(ReplicaId(2), replicas[2].addr()).unwrap();
-    lbs[1].attach_replica(ReplicaId(3), replicas[3].addr()).unwrap();
+    lbs[0]
+        .attach_replica(ReplicaId(0), replicas[0].addr())
+        .unwrap();
+    lbs[0]
+        .attach_replica(ReplicaId(1), replicas[1].addr())
+        .unwrap();
+    lbs[1]
+        .attach_replica(ReplicaId(2), replicas[2].addr())
+        .unwrap();
+    lbs[1]
+        .attach_replica(ReplicaId(3), replicas[3].addr())
+        .unwrap();
     for i in 0..3 {
         for j in 0..3 {
             if i != j {

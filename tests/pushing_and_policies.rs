@@ -2,10 +2,10 @@
 //! selective-pushing ordering (Fig. 9) and policy behaviour under
 //! heterogeneous ToT traffic (Fig. 8d).
 
-use skywalker::fabric::Deployment;
-use skywalker::{fig9_scenario, run_scenario, FabricConfig, SystemKind};
 use skywalker::core::{PolicyKind, PushMode, RoutingConstraint};
+use skywalker::fabric::Deployment;
 use skywalker::{fig8_scenario, Workload};
+use skywalker::{fig9_scenario, run_scenario, FabricConfig, SystemKind};
 
 fn fig9_run(push: PushMode, clients: u32) -> skywalker::RunSummary {
     let scenario = fig9_scenario(SystemKind::SglRouter, 4, clients, 33).with_deployment(

@@ -26,7 +26,12 @@ fn all_requests_accounted_for_across_systems() {
             "{}: requests lost or duplicated",
             system.label()
         );
-        assert_eq!(s.report.failed, 0, "{}: unexpected failures", system.label());
+        assert_eq!(
+            s.report.failed,
+            0,
+            "{}: unexpected failures",
+            system.label()
+        );
         assert_eq!(s.report.in_flight, 0, "{}: stuck requests", system.label());
     }
 }
