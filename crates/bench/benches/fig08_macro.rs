@@ -9,19 +9,67 @@
 //! substantially lower TTFT than every baseline; CH edges SkyWalker by
 //! ~2 % on the *uniform* ToT workload only.
 //!
-//! Beyond the paper's seven systems, the table carries one extra row:
-//! `P2C-Local`, the power-of-two-choices + locality-weighted policy
-//! implemented outside the core crate and plugged in through
-//! `ScenarioBuilder` — the openness demo riding the same grid.
+//! Beyond the paper's grid the table carries the openness demos riding
+//! the same harness: `P2C-Local` (a custom routing policy) on every
+//! workload, and two custom *traffic sources* — the RAG shared-corpus
+//! and flash-crowd workloads, streamed through `ScenarioBuilder::
+//! traffic_source` from outside the workload crate.
+//!
+//! Every cell is also appended to `BENCH_fig08.json` in the working
+//! directory, so the performance trajectory is diffable across commits.
 //!
 //! Environment knobs: `SCALE` (client population multiplier, default
 //! 0.25 — the paper's counts at 1.0 take a few minutes per cell) and
 //! `SEED`.
 
+use skywalker::net::Region;
+use skywalker::sim::{SimDuration, SimTime};
 use skywalker::{
-    fig8_scenario, run_scenario, FabricConfig, P2cLocalFactory, Scenario, SystemKind, Workload,
+    balanced_fleet, fig8_scenario, run_scenario, FabricConfig, FlashCrowdSource, P2cLocalFactory,
+    RagCorpusConfig, RagCorpusSource, RunSummary, Scenario, SystemKind, Workload,
 };
+use skywalker_bench::json::{Report, Val};
 use skywalker_bench::{f, header, pct, ratio, row};
+
+fn record(rep: &mut Report, workload: &str, s: &RunSummary) {
+    row(&[
+        s.label.clone(),
+        f(s.report.throughput_tps, 0),
+        format!("{:.3}s", s.report.ttft.p50),
+        format!("{:.3}s", s.report.ttft.p90),
+        format!("{:.3}s", s.report.ttft.mean),
+        format!("{:.2}s", s.report.e2e.p50),
+        format!("{:.2}s", s.report.e2e.p90),
+        pct(s.replica_hit_rate),
+        s.forwarded.to_string(),
+    ]);
+    rep.row(&[
+        ("workload", Val::from(workload)),
+        ("system", Val::from(s.label.clone())),
+        ("tok_s", Val::from(s.report.throughput_tps)),
+        ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+        ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+        ("ttft_mean_s", Val::from(s.report.ttft.mean)),
+        ("e2e_p50_s", Val::from(s.report.e2e.p50)),
+        ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+        ("hit_rate", Val::from(s.replica_hit_rate)),
+        ("forwarded", Val::from(s.forwarded)),
+        ("completed", Val::from(s.report.completed)),
+        ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+    ]);
+}
+
+const COLUMNS: [&str; 9] = [
+    "system",
+    "tok/s",
+    "TTFT p50",
+    "TTFT p90",
+    "TTFT mean",
+    "E2E p50",
+    "E2E p90",
+    "hit rate",
+    "fwd",
+];
 
 fn main() {
     let scale: f64 = std::env::var("SCALE")
@@ -34,36 +82,20 @@ fn main() {
         .unwrap_or(8);
     println!("# Fig. 8 — Macrobenchmark (scale {scale}, seed {seed})\n");
 
+    let mut rep = Report::new("fig08_macro");
+    rep.meta("scale", scale);
+    rep.meta("seed", seed);
+
     let cfg = FabricConfig::default();
     for workload in Workload::ALL {
         println!("## {}\n", workload.label());
-        header(&[
-            "system",
-            "tok/s",
-            "TTFT p50",
-            "TTFT p90",
-            "TTFT mean",
-            "E2E p50",
-            "E2E p90",
-            "hit rate",
-            "fwd",
-        ]);
+        header(&COLUMNS);
         let mut skywalker_tps = 0.0;
         let mut best_baseline_tps: f64 = 0.0;
         for system in SystemKind::FIG8 {
             let scenario = fig8_scenario(system, workload, scale, seed);
             let s = run_scenario(&scenario, &cfg);
-            row(&[
-                system.label().to_string(),
-                f(s.report.throughput_tps, 0),
-                format!("{:.3}s", s.report.ttft.p50),
-                format!("{:.3}s", s.report.ttft.p90),
-                format!("{:.3}s", s.report.ttft.mean),
-                format!("{:.2}s", s.report.e2e.p50),
-                format!("{:.2}s", s.report.e2e.p90),
-                pct(s.replica_hit_rate),
-                s.forwarded.to_string(),
-            ]);
+            record(&mut rep, workload.label(), &s);
             if system == SystemKind::SkyWalker {
                 skywalker_tps = s.report.throughput_tps;
             } else if s.report.throughput_tps > best_baseline_tps
@@ -72,31 +104,82 @@ fn main() {
                 best_baseline_tps = s.report.throughput_tps;
             }
         }
-        // The openness demo: a custom policy, same deployment shape and
-        // grid cell, plugged in through the builder — no SystemKind.
+        // The routing openness demo: a custom policy, same deployment
+        // shape and grid cell, plugged in through the builder — no
+        // SystemKind.
         let p2c = Scenario::builder()
             .deployment(SystemKind::SkyWalker.deployment())
             .policy_factory(P2cLocalFactory::new(seed))
             .fig8_fleet(workload)
             .workload(workload, scale, seed)
-            .build();
+            .build()
+            .expect("fleet and workload are set");
         let s = run_scenario(&p2c, &cfg);
-        row(&[
-            s.label.clone(),
-            f(s.report.throughput_tps, 0),
-            format!("{:.3}s", s.report.ttft.p50),
-            format!("{:.3}s", s.report.ttft.p90),
-            format!("{:.3}s", s.report.ttft.mean),
-            format!("{:.2}s", s.report.e2e.p50),
-            format!("{:.2}s", s.report.e2e.p90),
-            pct(s.replica_hit_rate),
-            s.forwarded.to_string(),
-        ]);
+        record(&mut rep, workload.label(), &s);
         if best_baseline_tps > 0.0 {
             println!(
                 "\nSkyWalker vs best baseline: {} (paper: 1.12–2.06x across workloads)\n",
                 ratio(skywalker_tps / best_baseline_tps)
             );
         }
+    }
+
+    // The traffic openness demos: two workloads the paper never shipped,
+    // implemented outside skywalker-workload and streamed through the
+    // same builder and grid harness.
+    println!("## RAG shared corpus (custom TrafficSource)\n");
+    header(&COLUMNS);
+    // Base counts are scale-1.0 populations, scaled exactly like the
+    // paper grid above so SCALE means one thing bench-wide.
+    let n = |base: f64| ((base * scale).round() as u32).max(1);
+    let rag_users = vec![
+        (Region::UsEast, n(80.0)),
+        (Region::EuWest, n(64.0)),
+        (Region::ApNortheast, n(64.0)),
+    ];
+    for system in [
+        SystemKind::RoundRobin,
+        SystemKind::SglRouter,
+        SystemKind::SkyWalker,
+    ] {
+        let scenario = system
+            .builder()
+            .replicas(balanced_fleet())
+            .traffic_source(Box::new(RagCorpusSource::new(
+                RagCorpusConfig::default(),
+                rag_users.clone(),
+                seed,
+            )))
+            .build()
+            .expect("fleet and source are set");
+        let s = run_scenario(&scenario, &cfg);
+        record(&mut rep, "RAG corpus", &s);
+    }
+
+    println!("\n## Flash crowd in eu-west at t = 30s (custom TrafficSource)\n");
+    header(&COLUMNS);
+    for system in [SystemKind::RegionLocal, SystemKind::SkyWalker] {
+        let scenario = system
+            .builder()
+            .replicas(balanced_fleet())
+            .traffic_source(Box::new(
+                FlashCrowdSource::new(
+                    vec![(Region::UsEast, n(8.0)), (Region::EuWest, n(8.0))],
+                    Region::EuWest,
+                    n(240.0),
+                    SimTime::from_secs(30),
+                    seed,
+                )
+                .with_turns((2, 3))
+                .with_burst_window(SimDuration::from_secs(10)),
+            ))
+            .build()
+            .expect("fleet and source are set");
+        let s = run_scenario(&scenario, &cfg);
+        record(&mut rep, "Flash crowd", &s);
+    }
+
+    if let Err(e) = rep.write("BENCH_fig08.json") {
+        eprintln!("could not write BENCH_fig08.json: {e}");
     }
 }

@@ -5,7 +5,8 @@
 //! deployment pays.
 
 use skywalker::P2cLocalFactory;
-use skywalker_bench::micro::{bench, black_box};
+use skywalker_bench::json::{Report, Val};
+use skywalker_bench::micro::{bench as bench_raw, black_box};
 use skywalker_core::{
     hash_key, BalancerConfig, CacheAware, ConsistentHash, HashRing, LeastLoad, PolicyFactory,
     RouteTrie, RoutingPolicy, TargetState,
@@ -24,7 +25,7 @@ fn shared_prefix_prompt(rng: &mut DetRng, shared: &[u32], extra: usize) -> Vec<u
     p
 }
 
-fn bench_trie() {
+fn bench_trie(rep: &mut Report) {
     let mut rng = DetRng::new(1);
     let shared = random_prompt(&mut rng, 128);
 
@@ -45,7 +46,7 @@ fn bench_trie() {
             .map(|_| shared_prefix_prompt(&mut rng, &shared, 384))
             .collect();
         let mut i = 0usize;
-        bench("route_trie/insert_512tok", || {
+        bench(rep, "route_trie/insert_512tok", || {
             trie.insert(black_box(&prompts[i % prompts.len()]), (i % 10) as u32);
             i += 1;
         });
@@ -58,29 +59,29 @@ fn bench_trie() {
             trie.insert(&shared_prefix_prompt(&mut rng, &shared, 384), t);
         }
         let query = shared_prefix_prompt(&mut rng, &shared, 384);
-        bench("route_trie/best_match_512tok", || {
+        bench(rep, "route_trie/best_match_512tok", || {
             black_box(trie.best_match(black_box(&query), |_| true));
         });
     }
 }
 
-fn bench_ring() {
+fn bench_ring(rep: &mut Report) {
     let mut ring: HashRing<u32> = HashRing::new(64);
     for t in 0..12 {
         ring.add(t);
     }
     let mut i = 0u64;
-    bench("hash_ring/lookup_12_replicas", || {
+    bench(rep, "hash_ring/lookup_12_replicas", || {
         i += 1;
         black_box(ring.lookup(hash_key(&format!("user-{i}/session-3")), |_| true));
     });
     let h = hash_key("user-under-test");
-    bench("hash_ring/lookup_with_skips", || {
+    bench(rep, "hash_ring/lookup_with_skips", || {
         black_box(ring.lookup(black_box(h), |t| *t > 8));
     });
 }
 
-fn bench_policy() {
+fn bench_policy(rep: &mut Report) {
     let candidates: Vec<TargetState<u32>> =
         (0..12).map(|i| TargetState::new(i, (i * 3) % 7)).collect();
     let mut rng = DetRng::new(4);
@@ -91,7 +92,7 @@ fn bench_policy() {
     for t in 0..12 {
         cache_aware.note_dispatch(&shared_prefix_prompt(&mut rng, &shared, 160), t);
     }
-    bench("policy_select/cache_aware", || {
+    bench(rep, "policy_select/cache_aware", || {
         black_box(cache_aware.select("user-1", black_box(&prompt), &candidates));
     });
 
@@ -99,12 +100,12 @@ fn bench_policy() {
     for t in 0..12 {
         ch.add_target(t);
     }
-    bench("policy_select/consistent_hash", || {
+    bench(rep, "policy_select/consistent_hash", || {
         black_box(ch.select("user-1", black_box(&prompt), &candidates));
     });
 
     let mut ll: Box<dyn RoutingPolicy<u32>> = Box::new(LeastLoad);
-    bench("policy_select/least_load", || {
+    bench(rep, "policy_select/least_load", || {
         black_box(ll.select("user-1", black_box(&prompt), &candidates));
     });
 
@@ -115,12 +116,12 @@ fn bench_policy() {
     let replica_candidates: Vec<TargetState<ReplicaId>> = (0..12)
         .map(|i| TargetState::new(ReplicaId(i), (i * 3) % 7).in_region(Region::UsEast))
         .collect();
-    bench("policy_select/p2c_local", || {
+    bench(rep, "policy_select/p2c_local", || {
         black_box(p2c.select("user-1", black_box(&prompt), &replica_candidates));
     });
 }
 
-fn bench_kvcache() {
+fn bench_kvcache(rep: &mut Report) {
     let mut rng = DetRng::new(5);
     let shared = random_prompt(&mut rng, 256);
 
@@ -135,7 +136,7 @@ fn bench_kvcache() {
             .map(|_| shared_prefix_prompt(&mut rng, &shared, 128))
             .collect();
         let mut i = 0usize;
-        bench("kv_cache/acquire_release_warm", || {
+        bench(rep, "kv_cache/acquire_release_warm", || {
             let (l, cached) = cache.acquire(&prompts[i % prompts.len()]).unwrap();
             assert!(cached >= 256);
             cache.release(l);
@@ -152,15 +153,26 @@ fn bench_kvcache() {
             cache.release(l);
         }
         let probe = shared_prefix_prompt(&mut rng, &shared, 256);
-        bench("kv_cache/matched_tokens_probe", || {
+        bench(rep, "kv_cache/matched_tokens_probe", || {
             black_box(cache.matched_tokens(black_box(&probe)));
         });
     }
 }
 
+/// Times `f`, prints the usual line, and appends the mean to the
+/// machine-readable report.
+fn bench<F: FnMut()>(rep: &mut Report, name: &str, f: F) {
+    let ns = bench_raw(name, f);
+    rep.row(&[("name", Val::from(name)), ("ns_per_iter", Val::from(ns))]);
+}
+
 fn main() {
-    bench_trie();
-    bench_ring();
-    bench_policy();
-    bench_kvcache();
+    let mut rep = Report::new("routing_micro");
+    bench_trie(&mut rep);
+    bench_ring(&mut rep);
+    bench_policy(&mut rep);
+    bench_kvcache(&mut rep);
+    if let Err(e) = rep.write("BENCH_routing_micro.json") {
+        eprintln!("could not write BENCH_routing_micro.json: {e}");
+    }
 }

@@ -141,64 +141,81 @@ fn fragment(lbl: u64, len: u32) -> Vec<u32> {
 /// `users_per_region` lists `(region, user_count)`; `seed` controls all
 /// randomness. Every user gets a [`ClientSpec`] whose programs are that
 /// user's conversations.
+///
+/// This is the eager form; [`crate::source::ConversationSource`] streams
+/// the same clients one arrival at a time through the identical per-user
+/// generator, so both paths are byte-for-byte interchangeable.
 pub fn generate_clients(
     cfg: &ConversationConfig,
     users_per_region: &[(Region, u32)],
     seed: u64,
     ids: &mut IdGen,
 ) -> Vec<ClientSpec> {
-    let mut clients = Vec::new();
-    let template_zipf = |n: usize| {
-        if n == 0 {
-            None
-        } else {
-            Some(Zipf::new(n, 1.0))
-        }
-    };
     let global_zipf = Zipf::new(cfg.global_templates.max(1), cfg.template_zipf);
-    let regional_zipf = template_zipf(cfg.regional_templates);
+    let regional_zipf =
+        (cfg.regional_templates > 0).then(|| Zipf::new(cfg.regional_templates, cfg.template_zipf));
 
+    let mut clients = Vec::new();
     let mut user_seq = 0u64;
     for &(region, count) in users_per_region {
         for _ in 0..count {
-            let user_id = user_seq;
-            user_seq += 1;
-            let user = format!("user-{user_id}");
-            let mut rng = DetRng::for_component(seed, &format!("conv/{user}"));
-            // Heavy-tailed per-user activity: median near the low end of
-            // the clamp range, a long tail of power users.
-            let (lo, hi) = cfg.conversations_per_user;
-            let median = f64::from(lo.max(1)) * 2.0;
-            let n_convs = rng
-                .lognormal(median.ln(), cfg.activity_sigma)
-                .round()
-                .clamp(f64::from(lo), f64::from(hi)) as u32;
-            let mut programs = Vec::with_capacity(n_convs as usize);
-            for conv in 0..n_convs {
-                programs.push(generate_conversation(
-                    cfg,
-                    region,
-                    user_id,
-                    &user,
-                    conv,
-                    &mut rng,
-                    ids,
-                    &global_zipf,
-                    regional_zipf.as_ref().map(|z| {
-                        // Reuse the configured exponent for regional pools.
-                        let _ = z;
-                        Zipf::new(cfg.regional_templates, cfg.template_zipf)
-                    }),
-                ));
-            }
-            clients.push(ClientSpec {
+            clients.push(generate_user(
+                cfg,
                 region,
-                user,
-                programs,
-            });
+                user_seq,
+                seed,
+                ids,
+                &global_zipf,
+                regional_zipf.as_ref(),
+            ));
+            user_seq += 1;
         }
     }
     clients
+}
+
+/// Generates one user's full [`ClientSpec`] — activity level and all of
+/// their conversations. Each user's randomness is an independent stream
+/// keyed by `(seed, user id)`, so users can be generated in any order or
+/// lazily at arrival time without perturbing one another.
+pub(crate) fn generate_user(
+    cfg: &ConversationConfig,
+    region: Region,
+    user_id: u64,
+    seed: u64,
+    ids: &mut IdGen,
+    global_zipf: &Zipf,
+    regional_zipf: Option<&Zipf>,
+) -> ClientSpec {
+    let user = format!("user-{user_id}");
+    let mut rng = DetRng::for_component(seed, &format!("conv/{user}"));
+    // Heavy-tailed per-user activity: median near the low end of the
+    // clamp range, a long tail of power users.
+    let (lo, hi) = cfg.conversations_per_user;
+    let median = f64::from(lo.max(1)) * 2.0;
+    let n_convs = rng
+        .lognormal(median.ln(), cfg.activity_sigma)
+        .round()
+        .clamp(f64::from(lo), f64::from(hi)) as u32;
+    let mut programs = Vec::with_capacity(n_convs as usize);
+    for conv in 0..n_convs {
+        programs.push(generate_conversation(
+            cfg,
+            region,
+            user_id,
+            &user,
+            conv,
+            &mut rng,
+            ids,
+            global_zipf,
+            regional_zipf,
+        ));
+    }
+    ClientSpec {
+        region,
+        user,
+        programs,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -211,11 +228,11 @@ fn generate_conversation(
     rng: &mut DetRng,
     ids: &mut IdGen,
     global_zipf: &Zipf,
-    regional_zipf: Option<Zipf>,
+    regional_zipf: Option<&Zipf>,
 ) -> Program {
     // Pick the application template: regional pools model apps with a
     // geographically concentrated user base.
-    let template = match (&regional_zipf, rng.chance(cfg.p_regional_template)) {
+    let template = match (regional_zipf, rng.chance(cfg.p_regional_template)) {
         (Some(z), true) => {
             let t = z.sample(rng) as u64;
             fragment(

@@ -17,14 +17,22 @@
 //! - ToT trees with 15 (2-branch) / 85 (4-branch) requests and level
 //!   concurrency (§5.1) — [`tot`].
 //!
-//! Generators emit [`program::Program`]s: fully materialized stages of
-//! [`skywalker_replica::Request`]s, ready for a closed-loop client.
+//! Workloads are served to the simulation as **streaming
+//! [`TrafficSource`]s** ([`source`]): the fabric pulls client arrivals as
+//! simulated time advances and each client's [`program::Program`]s —
+//! fully materialized stages of [`skywalker_replica::Request`]s — are
+//! generated lazily at its arrival instant. The eager
+//! `generate_*_clients` functions remain as thin drains of the same
+//! generators for tests and offline analysis, and any external type
+//! implementing [`TrafficSource`] plugs into the fabric without touching
+//! this crate.
 
 pub mod conversation;
 pub mod diurnal;
 pub mod lengths;
 pub mod prefix_stats;
 pub mod program;
+pub mod source;
 pub mod tot;
 
 pub use conversation::{generate_clients as generate_conversation_clients, ConversationConfig};
@@ -35,4 +43,9 @@ pub use prefix_stats::{
     similarity_matrix,
 };
 pub use program::{ClientSpec, IdGen, Program};
+pub use source::{
+    distinct_regions, drain, region_of_slot, total_slots, ArrivalSchedule, ArrivalTimes,
+    ArrivalWalk, ClientEvent, ClientListSource, CloneTrafficSource, ConversationSource,
+    MergeSource, TotSource, TrafficSource,
+};
 pub use tot::{generate_clients as generate_tot_clients, generate_tree, TotConfig};

@@ -16,13 +16,19 @@ use skywalker_net::Region;
 use skywalker_replica::Request;
 
 /// Allocator of globally unique request ids across all generators.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IdGen(u64);
 
 impl IdGen {
     /// Creates a generator starting at zero.
     pub fn new() -> Self {
         IdGen(0)
+    }
+
+    /// Creates a generator whose first id is `first` — used to give
+    /// composed traffic sources disjoint id ranges.
+    pub fn starting_at(first: u64) -> Self {
+        IdGen(first)
     }
 
     /// Returns the next unique id.

@@ -1,0 +1,774 @@
+//! Streaming traffic sources: the open workload surface.
+//!
+//! The paper's experiments are driven by closed-loop client populations,
+//! and the original API materialized every request of every client into a
+//! `Vec<ClientSpec>` before the simulation started — memory proportional
+//! to the total request count, and a closed set of four generators. A
+//! [`TrafficSource`] inverts that: the fabric *pulls* client arrivals as
+//! simulated time advances, sources generate each client's programs
+//! lazily at its arrival instant, and anything implementing the trait —
+//! inside this crate or out — plugs into `ScenarioBuilder` exactly like a
+//! custom routing policy plugs into the balancer.
+//!
+//! The four paper workloads are provided as sources here
+//! ([`ConversationSource`], [`TotSource`], composed by [`MergeSource`]),
+//! and a pre-materialized `Vec<ClientSpec>` adapts through
+//! [`ClientListSource`]. Arrival pacing is orthogonal to content:
+//! every built-in source takes an [`ArrivalSchedule`] (all at once, a
+//! uniform ramp, or a Poisson process), and external sources can reuse
+//! the same [`ArrivalTimes`] iterator.
+//!
+//! # Contract
+//!
+//! - [`TrafficSource::next_batch`] returns every arrival with `at <= now`
+//!   that has not been returned before, with nondecreasing `at` within
+//!   the batch. Successive calls use nondecreasing `now`.
+//! - [`TrafficSource::is_exhausted`] is `true` once no future call can
+//!   produce another arrival. A source that never exhausts is legal (an
+//!   open-ended diurnal feed); the run then ends at the fabric deadline.
+//! - Arrival times and client content must depend only on the source's
+//!   own seeded state, never on the polling cadence: the fabric may call
+//!   `next_batch` at any interval. In particular, the `rng` parameter
+//!   must **not** influence the emitted arrivals — its draw sequence
+//!   varies with how often the source is polled, and inspection paths
+//!   (`drain`, `Scenario::clients_until`) hand the source a different
+//!   stream than the run does. Derive randomness from your own seed
+//!   (`DetRng::for_component(seed, label)`), as the built-ins do; the
+//!   parameter exists for side-channels that do not feed back into the
+//!   stream (e.g. sampling diagnostics).
+//! - Request ids must be unique *across* sources sharing a run. When
+//!   composing sources (see [`MergeSource`]), give each a disjoint id
+//!   range via its `with_first_request_id` constructor.
+
+use std::fmt;
+
+use skywalker_net::Region;
+use skywalker_sim::{DetRng, SimDuration, SimTime, Zipf};
+
+use crate::conversation::{generate_user, ConversationConfig};
+use crate::program::{ClientSpec, IdGen};
+use crate::tot::{generate_tot_client, TotConfig};
+
+/// One traffic event: a closed-loop client joining the simulation at
+/// `at`, running `spec`'s programs to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientEvent {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// The client to admit.
+    pub spec: ClientSpec,
+}
+
+/// Object-safe cloning for boxed sources, blanket-implemented for every
+/// `Clone` source — implementors only need `#[derive(Clone)]`.
+pub trait CloneTrafficSource {
+    /// Clones the source behind a fresh box, with all generation state
+    /// rewound to wherever this instance currently is.
+    fn clone_box(&self) -> Box<dyn TrafficSource>;
+}
+
+impl<T: TrafficSource + Clone + 'static> CloneTrafficSource for T {
+    fn clone_box(&self) -> Box<dyn TrafficSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// A lazy stream of client arrivals — the open counterpart of the old
+/// closed `Workload` enum, mirroring what `RoutingPolicy` did for the
+/// routing axis.
+///
+/// See the [module docs](self) for the full contract.
+pub trait TrafficSource: fmt::Debug + Send + CloneTrafficSource {
+    /// Regions this source's clients may issue from. Declared up front so
+    /// per-region deployments can place a balancer in every client region
+    /// before the first arrival.
+    fn regions(&self) -> Vec<Region>;
+
+    /// Returns every not-yet-emitted arrival with `at <= now`, in
+    /// nondecreasing `at` order.
+    fn next_batch(&mut self, now: SimTime, rng: &mut DetRng) -> Vec<ClientEvent>;
+
+    /// True once no future [`TrafficSource::next_batch`] call can return
+    /// another arrival.
+    fn is_exhausted(&self) -> bool;
+
+    /// Display label for experiment tables.
+    fn label(&self) -> String;
+}
+
+impl Clone for Box<dyn TrafficSource> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Drains a *finite* source to exhaustion and returns the client specs in
+/// arrival order — the bridge back to the eager `Vec<ClientSpec>` world
+/// (tests, offline analysis).
+///
+/// Only for sources whose [`TrafficSource::is_exhausted`] eventually
+/// turns `true`: an unbounded source (legal in the fabric, which polls
+/// bounded horizons) will generate inside `next_batch(SimTime::MAX, ..)`
+/// without returning — no guard here can interrupt it. For such sources,
+/// poll a bounded horizon yourself. The empty-batch break below only
+/// catches a *stuck* source (claims more arrivals, produces none).
+pub fn drain(source: &mut dyn TrafficSource) -> Vec<ClientSpec> {
+    let mut rng = DetRng::for_component(0, "workload/drain");
+    let mut out = Vec::new();
+    while !source.is_exhausted() {
+        let batch = source.next_batch(SimTime::MAX, &mut rng);
+        if batch.is_empty() {
+            break;
+        }
+        out.extend(batch.into_iter().map(|e| e.spec));
+    }
+    out
+}
+
+/// When a source's clients come online.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSchedule {
+    /// Every client at `t = 0` — the paper's closed-loop populations.
+    Immediate,
+    /// Client `k` of `n` arrives at `k · over / (n − 1)`: a linear ramp
+    /// from `0` to `over`.
+    UniformRamp {
+        /// Instant the last client arrives.
+        over: SimDuration,
+    },
+    /// Exponential gaps with the given mean — a Poisson arrival process.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+    },
+}
+
+impl ArrivalSchedule {
+    /// The arrival instants of `total` clients under this schedule, as a
+    /// lazy iterator. Deterministic in `seed`; reusable by sources
+    /// outside this crate.
+    pub fn times(self, total: usize, seed: u64) -> ArrivalTimes {
+        ArrivalTimes {
+            schedule: self,
+            rng: DetRng::for_component(seed, "arrival-schedule"),
+            total,
+            cursor: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+}
+
+/// Iterator over the arrival instants of an [`ArrivalSchedule`].
+/// Monotonically nondecreasing; yields exactly `total` instants.
+#[derive(Debug, Clone)]
+pub struct ArrivalTimes {
+    schedule: ArrivalSchedule,
+    rng: DetRng,
+    total: usize,
+    cursor: usize,
+    clock: SimTime,
+}
+
+impl Iterator for ArrivalTimes {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.cursor >= self.total {
+            return None;
+        }
+        let k = self.cursor as u64;
+        self.cursor += 1;
+        let at = match self.schedule {
+            ArrivalSchedule::Immediate => SimTime::ZERO,
+            ArrivalSchedule::UniformRamp { over } => {
+                let span = (self.total as u64).saturating_sub(1).max(1);
+                SimTime::from_micros(over.as_micros().saturating_mul(k) / span)
+            }
+            ArrivalSchedule::Poisson { mean_gap } => {
+                if k > 0 {
+                    let gap = self.rng.exponential(1.0) * mean_gap.as_secs_f64();
+                    self.clock += SimDuration::from_secs_f64(gap);
+                }
+                self.clock
+            }
+        };
+        Some(at)
+    }
+}
+
+/// Walks `(region, count)` slots: the region of the `k`-th client.
+/// Falls back to the last declared region if `k` exceeds the slot total.
+/// Exported for sources built outside this crate.
+pub fn region_of_slot(per_region: &[(Region, u32)], k: usize) -> Region {
+    let mut k = k as u64;
+    for &(region, count) in per_region {
+        if k < u64::from(count) {
+            return region;
+        }
+        k -= u64::from(count);
+    }
+    per_region.last().map(|&(r, _)| r).unwrap_or(Region::UsEast)
+}
+
+/// Total client count across `(region, count)` slots.
+pub fn total_slots(per_region: &[(Region, u32)]) -> usize {
+    per_region.iter().map(|&(_, n)| n as usize).sum()
+}
+
+/// Distinct regions of `(region, count)` slots, in first-appearance
+/// order — the shape [`TrafficSource::regions`] wants.
+pub fn distinct_regions(per_region: &[(Region, u32)]) -> Vec<Region> {
+    let mut out = Vec::new();
+    for &(region, _) in per_region {
+        if !out.contains(&region) {
+            out.push(region);
+        }
+    }
+    out
+}
+
+/// Cursor over an [`ArrivalSchedule`]: which of `total` clients have
+/// been emitted, and when the next one is due. The shared emission walk
+/// behind every built-in generator source; sources outside this crate
+/// can reuse it the same way.
+#[derive(Debug, Clone)]
+pub struct ArrivalWalk {
+    seed: u64,
+    total: usize,
+    times: ArrivalTimes,
+    next_at: Option<SimTime>,
+    cursor: usize,
+}
+
+impl ArrivalWalk {
+    /// A walk over `total` arrivals under `schedule`.
+    pub fn new(schedule: ArrivalSchedule, total: usize, seed: u64) -> Self {
+        let mut times = schedule.times(total, seed);
+        let next_at = times.next();
+        ArrivalWalk {
+            seed,
+            total,
+            times,
+            next_at,
+            cursor: 0,
+        }
+    }
+
+    /// Swaps the schedule. Builder-style: call before the first
+    /// [`ArrivalWalk::pop_due`] — a schedule swapped in mid-stream may
+    /// place its remaining instants before already-emitted ones,
+    /// violating the nondecreasing-`at` contract. (Defensively, instants
+    /// already consumed are skipped so a client is never re-emitted.)
+    pub fn reschedule(&mut self, schedule: ArrivalSchedule) {
+        self.times = schedule.times(self.total, self.seed);
+        for _ in 0..self.cursor {
+            self.times.next();
+        }
+        self.next_at = self.times.next();
+    }
+
+    /// If the next client is due by `now`, consumes it and returns its
+    /// `(slot index, arrival instant)`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(usize, SimTime)> {
+        let at = self.next_at?;
+        if at > now {
+            return None;
+        }
+        let slot = self.cursor;
+        self.cursor += 1;
+        self.next_at = self.times.next();
+        Some((slot, at))
+    }
+
+    /// True once every slot has been emitted.
+    pub fn is_exhausted(&self) -> bool {
+        self.next_at.is_none()
+    }
+}
+
+/// Thin adapter: a pre-materialized client population as a source. Every
+/// client arrives at `t = 0`, in vector order — exactly the old eager
+/// semantics, so `ScenarioBuilder::clients` keeps working unchanged.
+#[derive(Debug, Clone)]
+pub struct ClientListSource {
+    specs: Vec<ClientSpec>,
+    /// Distinct client regions, captured up front so the declaration
+    /// survives emission (the specs themselves are handed over).
+    regions: Vec<Region>,
+    label: String,
+}
+
+impl ClientListSource {
+    /// Wraps an eagerly built population.
+    pub fn new(specs: Vec<ClientSpec>) -> Self {
+        let mut regions = Vec::new();
+        for spec in &specs {
+            if !regions.contains(&spec.region) {
+                regions.push(spec.region);
+            }
+        }
+        ClientListSource {
+            specs,
+            regions,
+            label: "clients".to_string(),
+        }
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl TrafficSource for ClientListSource {
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn next_batch(&mut self, _now: SimTime, _rng: &mut DetRng) -> Vec<ClientEvent> {
+        // Move the specs out instead of cloning: this run's private copy
+        // of the source never needs them again, so a large population is
+        // not transiently doubled in memory.
+        std::mem::take(&mut self.specs)
+            .into_iter()
+            .map(|spec| ClientEvent {
+                at: SimTime::ZERO,
+                spec,
+            })
+            .collect()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The multi-turn conversation workloads (WildChat, ChatBot Arena) as a
+/// streaming source: each user's conversations are generated at the
+/// user's arrival instant, not up front, so memory tracks the *active*
+/// population instead of the total request count.
+///
+/// Generates byte-identical [`ClientSpec`]s to
+/// [`crate::conversation::generate_clients`] under the same seed.
+#[derive(Debug, Clone)]
+pub struct ConversationSource {
+    cfg: ConversationConfig,
+    users_per_region: Vec<(Region, u32)>,
+    seed: u64,
+    ids: IdGen,
+    global_zipf: Zipf,
+    regional_zipf: Option<Zipf>,
+    walk: ArrivalWalk,
+    label: String,
+}
+
+impl ConversationSource {
+    /// A source over `users_per_region` `(region, user_count)` slots,
+    /// all arriving at `t = 0`.
+    pub fn new(cfg: ConversationConfig, users_per_region: Vec<(Region, u32)>, seed: u64) -> Self {
+        let walk = ArrivalWalk::new(
+            ArrivalSchedule::Immediate,
+            total_slots(&users_per_region),
+            seed,
+        );
+        let global_zipf = Zipf::new(cfg.global_templates.max(1), cfg.template_zipf);
+        let regional_zipf = (cfg.regional_templates > 0)
+            .then(|| Zipf::new(cfg.regional_templates, cfg.template_zipf));
+        ConversationSource {
+            cfg,
+            users_per_region,
+            seed,
+            ids: IdGen::new(),
+            global_zipf,
+            regional_zipf,
+            walk,
+            label: "conversations".to_string(),
+        }
+    }
+
+    /// Replaces the arrival schedule (default: everyone at `t = 0`).
+    /// Builder-style: call before the source is first polled — see
+    /// [`ArrivalWalk::reschedule`].
+    pub fn with_schedule(mut self, schedule: ArrivalSchedule) -> Self {
+        self.walk.reschedule(schedule);
+        self
+    }
+
+    /// Offsets the request-id space (compose sources with disjoint ids).
+    pub fn with_first_request_id(mut self, first: u64) -> Self {
+        self.ids = IdGen::starting_at(first);
+        self
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl TrafficSource for ConversationSource {
+    fn regions(&self) -> Vec<Region> {
+        distinct_regions(&self.users_per_region)
+    }
+
+    fn next_batch(&mut self, now: SimTime, _rng: &mut DetRng) -> Vec<ClientEvent> {
+        let mut out = Vec::new();
+        while let Some((slot, at)) = self.walk.pop_due(now) {
+            let region = region_of_slot(&self.users_per_region, slot);
+            let spec = generate_user(
+                &self.cfg,
+                region,
+                slot as u64,
+                self.seed,
+                &mut self.ids,
+                &self.global_zipf,
+                self.regional_zipf.as_ref(),
+            );
+            out.push(ClientEvent { at, spec });
+        }
+        out
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.walk.is_exhausted()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Tree-of-Thoughts traffic as a streaming source; each client's trees
+/// are generated at its arrival instant. Generates byte-identical
+/// [`ClientSpec`]s to [`crate::tot::generate_clients`] under the same
+/// seed.
+#[derive(Debug, Clone)]
+pub struct TotSource {
+    cfg: TotConfig,
+    clients_per_region: Vec<(Region, u32)>,
+    trees_per_client: u32,
+    seed: u64,
+    first_request_id: u64,
+    ids: IdGen,
+    question_seq: u64,
+    walk: ArrivalWalk,
+    label: String,
+}
+
+impl TotSource {
+    /// A source over `clients_per_region` slots, each client solving
+    /// `trees_per_client` questions back-to-back, all arriving at
+    /// `t = 0`.
+    pub fn new(
+        cfg: TotConfig,
+        clients_per_region: Vec<(Region, u32)>,
+        trees_per_client: u32,
+        seed: u64,
+    ) -> Self {
+        let walk = ArrivalWalk::new(
+            ArrivalSchedule::Immediate,
+            total_slots(&clients_per_region),
+            seed,
+        );
+        TotSource {
+            cfg,
+            clients_per_region,
+            trees_per_client,
+            seed,
+            first_request_id: 0,
+            ids: IdGen::new(),
+            question_seq: 0,
+            walk,
+            label: "tot".to_string(),
+        }
+    }
+
+    /// Replaces the arrival schedule (default: everyone at `t = 0`).
+    /// Builder-style: call before the source is first polled — see
+    /// [`ArrivalWalk::reschedule`].
+    pub fn with_schedule(mut self, schedule: ArrivalSchedule) -> Self {
+        self.walk.reschedule(schedule);
+        self
+    }
+
+    /// Offsets the request-id space (compose sources with disjoint ids).
+    pub fn with_first_request_id(mut self, first: u64) -> Self {
+        self.first_request_id = first;
+        self.ids = IdGen::starting_at(first);
+        self
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Total requests this source will ever emit — ToT trees have a fixed
+    /// shape, so the count is closed-form. Useful for carving out the
+    /// next source's id range when composing.
+    pub fn total_requests(&self) -> u64 {
+        total_slots(&self.clients_per_region) as u64
+            * u64::from(self.trees_per_client)
+            * u64::from(self.cfg.requests_per_tree())
+    }
+
+    /// One past the last request id this source can allocate.
+    pub fn request_id_end(&self) -> u64 {
+        self.first_request_id + self.total_requests()
+    }
+}
+
+impl TrafficSource for TotSource {
+    fn regions(&self) -> Vec<Region> {
+        distinct_regions(&self.clients_per_region)
+    }
+
+    fn next_batch(&mut self, now: SimTime, _rng: &mut DetRng) -> Vec<ClientEvent> {
+        let mut out = Vec::new();
+        while let Some((slot, at)) = self.walk.pop_due(now) {
+            let region = region_of_slot(&self.clients_per_region, slot);
+            let spec = generate_tot_client(
+                &self.cfg,
+                region,
+                slot as u64,
+                self.trees_per_client,
+                &mut self.question_seq,
+                self.seed,
+                &mut self.ids,
+            );
+            out.push(ClientEvent { at, spec });
+        }
+        out
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.walk.is_exhausted()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Composes several sources into one stream (e.g. the Mixed Tree
+/// workload: heavy 4-branch US trees merged with 2-branch traffic
+/// elsewhere). Batches preserve child order for same-instant arrivals
+/// and are stably sorted by arrival time across children.
+///
+/// Children are responsible for disjoint request-id ranges — see the
+/// `with_first_request_id` constructors.
+#[derive(Debug, Clone)]
+pub struct MergeSource {
+    sources: Vec<Box<dyn TrafficSource>>,
+    label: String,
+}
+
+impl MergeSource {
+    /// Merges `sources` into one stream.
+    pub fn new(sources: Vec<Box<dyn TrafficSource>>) -> Self {
+        let label = sources
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join("+");
+        MergeSource { sources, label }
+    }
+
+    /// Overrides the display label (default: children joined with `+`).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl TrafficSource for MergeSource {
+    fn regions(&self) -> Vec<Region> {
+        let mut out = Vec::new();
+        for s in &self.sources {
+            for r in s.regions() {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    fn next_batch(&mut self, now: SimTime, rng: &mut DetRng) -> Vec<ClientEvent> {
+        let mut out = Vec::new();
+        for s in &mut self.sources {
+            out.extend(s.next_batch(now, rng));
+        }
+        out.sort_by_key(|e| e.at);
+        out
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.sources.iter().all(|s| s.is_exhausted())
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversation::generate_clients as eager_conversations;
+    use crate::tot::generate_clients as eager_tot;
+
+    fn rng() -> DetRng {
+        DetRng::new(0)
+    }
+
+    #[test]
+    fn client_list_adapts_eagerly_built_populations() {
+        let mut ids = IdGen::new();
+        let specs = eager_tot(
+            &TotConfig::branch2(),
+            &[(Region::UsEast, 2), (Region::EuWest, 1)],
+            1,
+            7,
+            &mut ids,
+        );
+        let mut src = ClientListSource::new(specs.clone());
+        assert_eq!(src.regions(), vec![Region::UsEast, Region::EuWest]);
+        assert!(!src.is_exhausted());
+        let batch = src.next_batch(SimTime::ZERO, &mut rng());
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|e| e.at == SimTime::ZERO));
+        assert_eq!(
+            batch.iter().map(|e| e.spec.clone()).collect::<Vec<_>>(),
+            specs
+        );
+        assert!(src.is_exhausted());
+        assert!(src.next_batch(SimTime::MAX, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn conversation_source_matches_eager_generator() {
+        let regions = [(Region::UsEast, 5), (Region::ApNortheast, 3)];
+        let mut ids = IdGen::new();
+        let eager = eager_conversations(&ConversationConfig::wildchat(), &regions, 11, &mut ids);
+        let mut src = ConversationSource::new(ConversationConfig::wildchat(), regions.to_vec(), 11);
+        let lazy = drain(&mut src);
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn tot_source_matches_eager_generator() {
+        let regions = [(Region::UsEast, 3), (Region::EuWest, 2)];
+        let mut ids = IdGen::new();
+        let eager = eager_tot(&TotConfig::branch2(), &regions, 2, 13, &mut ids);
+        let mut src = TotSource::new(TotConfig::branch2(), regions.to_vec(), 2, 13);
+        let lazy = drain(&mut src);
+        assert_eq!(eager, lazy);
+        assert_eq!(
+            src.total_requests(),
+            lazy.iter().map(|c| c.total_requests() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn lazy_emission_is_poll_cadence_invariant() {
+        let regions = vec![(Region::UsEast, 20)];
+        let sched = ArrivalSchedule::UniformRamp {
+            over: SimDuration::from_secs(100),
+        };
+        let mut coarse = ConversationSource::new(ConversationConfig::arena(), regions.clone(), 3)
+            .with_schedule(sched);
+        let mut fine = coarse.clone();
+
+        let mut a = Vec::new();
+        for step in [0u64, 50, 100] {
+            a.extend(coarse.next_batch(SimTime::from_secs(step), &mut rng()));
+        }
+        let mut b = Vec::new();
+        for step in 0..=100u64 {
+            b.extend(fine.next_batch(SimTime::from_secs(step), &mut rng()));
+        }
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, b, "batching granularity must not change the stream");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(coarse.is_exhausted() && fine.is_exhausted());
+    }
+
+    #[test]
+    fn uniform_ramp_spans_the_window() {
+        let times: Vec<SimTime> = ArrivalSchedule::UniformRamp {
+            over: SimDuration::from_secs(90),
+        }
+        .times(10, 1)
+        .collect();
+        assert_eq!(times.len(), 10);
+        assert_eq!(times[0], SimTime::ZERO);
+        assert_eq!(times[9], SimTime::from_secs(90));
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_the_mean() {
+        let times: Vec<SimTime> = ArrivalSchedule::Poisson {
+            mean_gap: SimDuration::from_secs(2),
+        }
+        .times(2_000, 5)
+        .collect();
+        assert_eq!(times[0], SimTime::ZERO);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let span = times.last().unwrap().as_secs_f64();
+        let mean = span / 1_999.0;
+        assert!((mean - 2.0).abs() < 0.2, "mean gap {mean}");
+    }
+
+    #[test]
+    fn merge_preserves_child_order_and_ids_stay_disjoint() {
+        let heavy = TotSource::new(TotConfig::branch4(), vec![(Region::UsEast, 2)], 2, 9);
+        let light = TotSource::new(
+            TotConfig::branch2(),
+            vec![(Region::EuWest, 3)],
+            2,
+            9 ^ 0xBEEF,
+        )
+        .with_first_request_id(heavy.request_id_end());
+        let mut merged = MergeSource::new(vec![Box::new(heavy), Box::new(light)]);
+        assert_eq!(merged.regions(), vec![Region::UsEast, Region::EuWest]);
+        let specs = drain(&mut merged);
+        assert_eq!(specs.len(), 5);
+        let mut ids: Vec<u64> = specs
+            .iter()
+            .flat_map(|c| c.programs.iter())
+            .flat_map(|p| p.requests())
+            .map(|r| r.id.0)
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "request ids must stay globally unique");
+    }
+
+    #[test]
+    fn schedules_do_not_perturb_generated_content() {
+        let regions = vec![(Region::UsEast, 8)];
+        let immediate = drain(&mut ConversationSource::new(
+            ConversationConfig::arena(),
+            regions.clone(),
+            21,
+        ));
+        let ramped = drain(
+            &mut ConversationSource::new(ConversationConfig::arena(), regions, 21).with_schedule(
+                ArrivalSchedule::Poisson {
+                    mean_gap: SimDuration::from_secs(5),
+                },
+            ),
+        );
+        assert_eq!(immediate, ramped, "pacing is orthogonal to content");
+    }
+}

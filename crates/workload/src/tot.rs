@@ -128,6 +128,10 @@ pub fn generate_tree(
 
 /// Generates ToT clients: each client solves `trees_per_client` questions
 /// back-to-back.
+///
+/// This is the eager form; [`crate::source::TotSource`] streams the same
+/// clients one arrival at a time through the identical per-client
+/// generator, so both paths are byte-for-byte interchangeable.
 pub fn generate_clients(
     cfg: &TotConfig,
     clients_per_region: &[(Region, u32)],
@@ -140,24 +144,48 @@ pub fn generate_clients(
     let mut client_seq = 0u64;
     for &(region, count) in clients_per_region {
         for _ in 0..count {
-            let user = format!("tot-client-{client_seq}");
-            client_seq += 1;
-            let mut rng = DetRng::for_component(seed, &user);
-            let programs = (0..trees_per_client)
-                .map(|_| {
-                    let q = question_seq;
-                    question_seq += 1;
-                    generate_tree(cfg, q, &mut rng, ids)
-                })
-                .collect();
-            out.push(ClientSpec {
+            out.push(generate_tot_client(
+                cfg,
                 region,
-                user,
-                programs,
-            });
+                client_seq,
+                trees_per_client,
+                &mut question_seq,
+                seed,
+                ids,
+            ));
+            client_seq += 1;
         }
     }
     out
+}
+
+/// Generates one ToT client: `trees_per_client` trees over consecutive
+/// question ids drawn from `question_seq`. Per-client randomness is an
+/// independent stream keyed by `(seed, client id)`, so clients can be
+/// generated lazily at arrival time.
+pub(crate) fn generate_tot_client(
+    cfg: &TotConfig,
+    region: Region,
+    client_seq: u64,
+    trees_per_client: u32,
+    question_seq: &mut u64,
+    seed: u64,
+    ids: &mut IdGen,
+) -> ClientSpec {
+    let user = format!("tot-client-{client_seq}");
+    let mut rng = DetRng::for_component(seed, &user);
+    let programs = (0..trees_per_client)
+        .map(|_| {
+            let q = *question_seq;
+            *question_seq += 1;
+            generate_tree(cfg, q, &mut rng, ids)
+        })
+        .collect();
+    ClientSpec {
+        region,
+        user,
+        programs,
+    }
 }
 
 #[cfg(test)]

@@ -78,7 +78,8 @@ fn main() {
         .builder()
         .fig8_fleet(Workload::Tot)
         .workload(Workload::Tot, scale, seed)
-        .build();
+        .build()
+        .expect("fleet and workload are set");
     // …and two custom policies on the identical deployment and traffic,
     // installed with one builder call each.
     let p2c = Scenario::builder()
@@ -86,13 +87,15 @@ fn main() {
         .policy_factory(P2cLocalFactory::new(seed))
         .fig8_fleet(Workload::Tot)
         .workload(Workload::Tot, scale, seed)
-        .build();
+        .build()
+        .expect("fleet and workload are set");
     let sticky = Scenario::builder()
         .deployment(SystemKind::SkyWalker.deployment())
         .policy_factory(SessionStickyFactory)
         .fig8_fleet(Workload::Tot)
         .workload(Workload::Tot, scale, seed)
-        .build();
+        .build()
+        .expect("fleet and workload are set");
 
     let cfg = FabricConfig::default();
     for scenario in [skywalker, p2c, sticky] {

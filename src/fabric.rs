@@ -12,6 +12,7 @@
 //! KV-cache hit rate, and load-balance diagnostics.
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::Arc;
 
 use skywalker_core::{
@@ -24,7 +25,7 @@ use skywalker_replica::{
     Completion, GpuProfile, Replica, ReplicaId, ReplicaStats, Request, RequestId,
 };
 use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
-use skywalker_workload::ClientSpec;
+use skywalker_workload::{ClientEvent, ClientListSource, ClientSpec, TrafficSource};
 
 /// Which serving system to deploy — the seven systems of Fig. 8 plus the
 /// region-local baseline of Fig. 10.
@@ -183,12 +184,13 @@ pub struct FaultEvent {
     pub down: bool,
 }
 
-/// One experiment: a deployment shape, a policy, a fleet, a client
-/// population, faults.
+/// One experiment: a deployment shape, a policy, a fleet, a traffic
+/// source, faults.
 ///
 /// Build one with [`Scenario::builder`] (any combination of deployment,
-/// custom [`PolicyFactory`], fleet, workload, faults, and constraint), or
-/// with [`Scenario::new`] for a preset [`SystemKind`].
+/// custom [`PolicyFactory`], fleet, workload or [`TrafficSource`],
+/// faults, and constraint), or with [`Scenario::new`] for a preset
+/// [`SystemKind`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Display label for experiment tables.
@@ -204,20 +206,33 @@ pub struct Scenario {
     pub policy_factory: Option<Arc<dyn PolicyFactory>>,
     /// The replica fleet.
     pub replicas: Vec<ReplicaPlacement>,
-    /// The closed-loop client population.
-    pub clients: Vec<ClientSpec>,
+    /// The client traffic. Each run clones the source, so the same
+    /// scenario can be replayed any number of times; pre-materialized
+    /// populations ride along as a [`ClientListSource`].
+    pub traffic: Box<dyn TrafficSource>,
     /// Balancer fault injections.
     pub faults: Vec<FaultEvent>,
 }
 
 impl Scenario {
     /// A fault-free scenario with the system's standard deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `clients` is empty — use
+    /// [`Scenario::builder`] and handle [`ScenarioError`] to validate
+    /// dynamic inputs.
     pub fn new(
         system: SystemKind,
         replicas: Vec<ReplicaPlacement>,
         clients: Vec<ClientSpec>,
     ) -> Self {
-        system.builder().replicas(replicas).clients(clients).build()
+        system
+            .builder()
+            .replicas(replicas)
+            .clients(clients)
+            .build()
+            .expect("Scenario::new requires a non-empty fleet and client population")
     }
 
     /// An empty builder: configure deployment, policy, fleet, workload,
@@ -231,11 +246,57 @@ impl Scenario {
         self.deployment = deployment;
         self
     }
+
+    /// Materializes the clients a fresh copy of the traffic source would
+    /// emit by `until` — inspection/testing helper (e.g. expected-request
+    /// accounting). The run itself never calls this; it pulls from the
+    /// source incrementally. With `until = SimTime::MAX` an *unbounded*
+    /// source will generate without returning — pass a bounded horizon
+    /// for open-ended feeds.
+    pub fn clients_until(&self, until: SimTime) -> Vec<ClientSpec> {
+        let mut source = self.traffic.clone();
+        let mut rng = DetRng::for_component(0, "scenario/clients-until");
+        source
+            .next_batch(until, &mut rng)
+            .into_iter()
+            .map(|e| e.spec)
+            .collect()
+    }
 }
+
+/// Why [`ScenarioBuilder::build`] refused to assemble a scenario.
+/// Validation happens up front so a bad configuration fails with a clear
+/// error instead of deadlocking or panicking deep inside the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No replicas were configured — there is nothing to route to.
+    EmptyFleet,
+    /// No traffic was configured, or the provided source was already
+    /// exhausted — there is nothing to run.
+    NoTraffic,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::EmptyFleet => {
+                write!(f, "scenario has no replicas: set ScenarioBuilder::replicas")
+            }
+            ScenarioError::NoTraffic => write!(
+                f,
+                "scenario has no traffic: set ScenarioBuilder::clients, ::workload, \
+                 or ::traffic_source with a non-exhausted source"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Fluent construction of a [`Scenario`] — the open counterpart of the
 /// [`SystemKind`] presets. Custom systems (own deployment shape, own
-/// [`PolicyFactory`]) plug in here without touching the fabric.
+/// [`PolicyFactory`], own [`TrafficSource`]) plug in here without
+/// touching the fabric.
 ///
 /// ```
 /// use skywalker::fabric::{Deployment, Scenario};
@@ -254,7 +315,8 @@ impl Scenario {
 ///     .workload(Workload::Tot, 0.02, 7)
 ///     .constraint(RoutingConstraint::ContinentLocal)
 ///     .label("custom-tot")
-///     .build();
+///     .build()
+///     .expect("fleet and workload are both set");
 /// assert_eq!(scenario.label, "custom-tot");
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -264,7 +326,7 @@ pub struct ScenarioBuilder {
     deployment: Option<Deployment>,
     policy_factory: Option<Arc<dyn PolicyFactory>>,
     replicas: Vec<ReplicaPlacement>,
-    clients: Vec<ClientSpec>,
+    traffic: Option<Box<dyn TrafficSource>>,
     faults: Vec<FaultEvent>,
     constraint: Option<RoutingConstraint>,
 }
@@ -311,11 +373,23 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the closed-loop client population directly. See also
-    /// `ScenarioBuilder::workload` (defined alongside the workload
-    /// generators) for the paper's populations by name.
-    pub fn clients(mut self, clients: Vec<ClientSpec>) -> Self {
-        self.clients = clients;
+    /// Sets the closed-loop client population directly, adapted through
+    /// a [`ClientListSource`] (every client arrives at `t = 0`, in
+    /// vector order). See also `ScenarioBuilder::workload` (defined
+    /// alongside the workload generators) for the paper's populations by
+    /// name, and [`ScenarioBuilder::traffic_source`] for streaming
+    /// arrivals.
+    pub fn clients(self, clients: Vec<ClientSpec>) -> Self {
+        self.traffic_source(Box::new(ClientListSource::new(clients)))
+    }
+
+    /// Installs a streaming [`TrafficSource`]: the fabric pulls client
+    /// arrivals from it as simulated time advances instead of ingesting
+    /// a pre-materialized population. Any external implementation plugs
+    /// in here — the workload counterpart of
+    /// [`ScenarioBuilder::policy_factory`].
+    pub fn traffic_source(mut self, source: Box<dyn TrafficSource>) -> Self {
+        self.traffic = Some(source);
         self
     }
 
@@ -339,9 +413,22 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Assembles the scenario. Defaults: SkyWalker's deployment shape if
-    /// none was set, no faults, built-in policies.
-    pub fn build(self) -> Scenario {
+    /// Assembles and validates the scenario. Defaults: SkyWalker's
+    /// deployment shape if none was set, no faults, built-in policies.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::EmptyFleet`] without replicas;
+    /// [`ScenarioError::NoTraffic`] without a client population or with
+    /// an already-exhausted traffic source.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.replicas.is_empty() {
+            return Err(ScenarioError::EmptyFleet);
+        }
+        let traffic = self.traffic.ok_or(ScenarioError::NoTraffic)?;
+        if traffic.is_exhausted() {
+            return Err(ScenarioError::NoTraffic);
+        }
         let mut deployment = self
             .deployment
             .or_else(|| self.system.map(|s| s.deployment()))
@@ -356,15 +443,15 @@ impl ScenarioBuilder {
             .or_else(|| self.system.map(|s| s.label().to_string()))
             .or_else(|| self.policy_factory.as_ref().map(|f| f.label()))
             .unwrap_or_else(|| "custom".to_string());
-        Scenario {
+        Ok(Scenario {
             label,
             system: self.system,
             deployment,
             policy_factory: self.policy_factory,
             replicas: self.replicas,
-            clients: self.clients,
+            traffic,
             faults: self.faults,
-        }
+        })
     }
 }
 
@@ -383,6 +470,12 @@ pub struct FabricConfig {
     pub controller_timeout: SimDuration,
     /// Client retry delay after losing a request to a dead balancer.
     pub retry_delay: SimDuration,
+    /// How far ahead the fabric polls the scenario's [`TrafficSource`]
+    /// for upcoming client arrivals. Arrivals keep their exact instants
+    /// regardless — this only batches the pull; smaller is more polls,
+    /// larger is bigger batches. Clamped to at least one millisecond so
+    /// the poll loop always advances virtual time at a sane rate.
+    pub traffic_poll_interval: SimDuration,
     /// Hard stop; the run ends even if clients are unfinished.
     pub deadline: SimTime,
     /// Memory bound of the balancer routing tries, in tokens.
@@ -405,6 +498,7 @@ impl Default for FabricConfig {
             heartbeat_interval: SimDuration::from_millis(500),
             controller_timeout: SimDuration::from_secs(2),
             retry_delay: SimDuration::from_secs(1),
+            traffic_poll_interval: SimDuration::from_millis(500),
             deadline: SimTime::from_secs(4 * 3600),
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
@@ -462,6 +556,13 @@ impl RunSummary {
 // ---------------------------------------------------------------------------
 
 enum Ev {
+    /// Poll the traffic source for arrivals up to one poll interval
+    /// ahead; reschedules itself while the source has more to give.
+    TrafficPoll,
+    /// A client emitted by the traffic source comes online.
+    ClientArrive {
+        spec: ClientSpec,
+    },
     IssueStage {
         client: usize,
     },
@@ -531,6 +632,15 @@ struct Fabric {
     dns: DnsResolver,
     controller: Controller,
     tracker: RequestTracker,
+    /// The scenario's traffic stream, pulled as sim time advances.
+    source: Box<dyn TrafficSource>,
+    /// Cached `source.is_exhausted()` — part of the stop condition.
+    source_exhausted: bool,
+    /// Arrivals pulled from the source but not yet come online.
+    pending_arrivals: usize,
+    /// Randomness stream handed to the source (separate from the
+    /// network stream, so sources cannot perturb latency sampling).
+    traffic_rng: DetRng,
     /// RequestId → issuing client.
     req_client: HashMap<u64, usize>,
     /// RequestId → balancer that dispatched it locally.
@@ -653,11 +763,18 @@ impl Fabric {
         }
         if self.clients[client_idx].finished {
             self.active_clients -= 1;
-            if self.active_clients == 0 {
-                sched.stop();
-            }
+            self.maybe_stop(sched);
         } else {
             sched.after(SimDuration::ZERO, Ev::IssueStage { client: client_idx });
+        }
+    }
+
+    /// Ends the run once nothing can generate further work: the source
+    /// has no more arrivals, none are in flight to admission, and every
+    /// admitted client has finished.
+    fn maybe_stop(&self, sched: &mut Scheduler<Ev>) {
+        if self.source_exhausted && self.pending_arrivals == 0 && self.active_clients == 0 {
+            sched.stop();
         }
     }
 
@@ -714,6 +831,36 @@ impl World for Fabric {
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
+            Ev::TrafficPoll => {
+                // Pull one poll interval ahead so every arrival can be
+                // scheduled at its exact instant instead of being
+                // quantized to poll boundaries.
+                let horizon = now + self.cfg.traffic_poll_interval;
+                let events = self.source.next_batch(horizon, &mut self.traffic_rng);
+                for ClientEvent { at, spec } in events {
+                    self.pending_arrivals += 1;
+                    sched.at(at, Ev::ClientArrive { spec });
+                }
+                self.source_exhausted = self.source.is_exhausted();
+                if self.source_exhausted {
+                    self.maybe_stop(sched);
+                } else {
+                    sched.after(self.cfg.traffic_poll_interval, Ev::TrafficPoll);
+                }
+            }
+            Ev::ClientArrive { spec } => {
+                self.pending_arrivals -= 1;
+                let idx = self.clients.len();
+                self.clients.push(ClientState {
+                    spec,
+                    program_idx: 0,
+                    stage_idx: 0,
+                    inflight: 0,
+                    finished: false,
+                });
+                self.active_clients += 1;
+                sched.at(now, Ev::IssueStage { client: idx });
+            }
             Ev::IssueStage { client } => {
                 let reqs = {
                     let c = &self.clients[client];
@@ -728,9 +875,7 @@ impl World for Fabric {
                     if !self.clients[client].finished {
                         self.clients[client].finished = true;
                         self.active_clients -= 1;
-                        if self.active_clients == 0 {
-                            sched.stop();
-                        }
+                        self.maybe_stop(sched);
                     }
                     return;
                 };
@@ -968,7 +1113,14 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     };
     let factory: &dyn PolicyFactory = scenario.policy_factory.as_deref().unwrap_or(&default_kind);
 
-    // Decide balancer placement.
+    // Each run pulls from a fresh copy of the traffic source, so the
+    // same scenario replays identically any number of times.
+    let mut source = scenario.traffic.clone();
+    let mut traffic_rng = DetRng::for_component(cfg.seed, "fabric/traffic");
+
+    // Decide balancer placement. Client regions come from the source's
+    // declaration, so every region that may ever see an arrival has a
+    // balancer before the run starts.
     let mut lb_regions: Vec<Region> = Vec::new();
     match deployment {
         Deployment::Centralized { lb_region, .. } => lb_regions.push(lb_region),
@@ -978,9 +1130,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
                     lb_regions.push(p.region);
                 }
             }
-            for c in &scenario.clients {
-                if !lb_regions.contains(&c.region) {
-                    lb_regions.push(c.region);
+            for region in source.regions() {
+                if !lb_regions.contains(&region) {
+                    lb_regions.push(region);
                 }
             }
         }
@@ -1063,20 +1215,33 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     }
 
     let n_replicas = replicas.len();
-    let active_clients = scenario.clients.len();
+    // Admit the t = 0 cohort before the engine starts: their first
+    // stages are scheduled ahead of every tick event, which keeps a
+    // pre-materialized population bit-identical to the legacy eager
+    // path. Later arrivals stream in through `Ev::TrafficPoll`.
+    let initial = source.next_batch(SimTime::ZERO, &mut traffic_rng);
+    let source_exhausted = source.is_exhausted();
+    let active_clients = initial.len();
+    // A zero poll interval would re-enqueue `Ev::TrafficPoll` at the
+    // same instant forever; clamp so the poll loop always advances (and
+    // a sub-millisecond interval buys nothing — arrivals are scheduled
+    // at their exact instants via the look-ahead either way).
+    let mut world_cfg = cfg.clone();
+    world_cfg.traffic_poll_interval = world_cfg
+        .traffic_poll_interval
+        .max(SimDuration::from_millis(1));
     let mut world = Fabric {
-        cfg: cfg.clone(),
+        cfg: world_cfg,
         rng: DetRng::for_component(cfg.seed, "fabric/net"),
         lb_alive: vec![true; lbs.len()],
         lbs,
         replicas,
         replica_region,
         replica_stepping: vec![false; n_replicas],
-        clients: scenario
-            .clients
-            .iter()
-            .map(|spec| ClientState {
-                spec: spec.clone(),
+        clients: initial
+            .into_iter()
+            .map(|ev| ClientState {
+                spec: ev.spec,
                 program_idx: 0,
                 stage_idx: 0,
                 inflight: 0,
@@ -1086,6 +1251,10 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         dns,
         controller,
         tracker: RequestTracker::new(),
+        source,
+        source_exhausted,
+        pending_arrivals: 0,
+        traffic_rng,
         req_client: HashMap::new(),
         req_lb: HashMap::new(),
         kv_series: (0..n_replicas)
@@ -1100,9 +1269,18 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     for c in 0..world.clients.len() {
         engine.schedule(SimTime::ZERO, Ev::IssueStage { client: c });
     }
-    engine.schedule(SimTime::ZERO, Ev::ProbeTick);
-    engine.schedule(SimTime::ZERO, Ev::HeartbeatTick);
-    engine.schedule(SimTime::ZERO + cfg.heartbeat_interval, Ev::ControllerTick);
+    // A defensively-constructed scenario can hold an empty source (the
+    // builder rejects them); skip the self-perpetuating ticks so the run
+    // terminates immediately instead of idling to the deadline.
+    let has_traffic = !world.clients.is_empty() || !world.source_exhausted;
+    if has_traffic {
+        engine.schedule(SimTime::ZERO, Ev::ProbeTick);
+        engine.schedule(SimTime::ZERO, Ev::HeartbeatTick);
+        engine.schedule(SimTime::ZERO + cfg.heartbeat_interval, Ev::ControllerTick);
+        if !world.source_exhausted {
+            engine.schedule(SimTime::ZERO, Ev::TrafficPoll);
+        }
+    }
     for f in &scenario.faults {
         engine.schedule(
             f.at,

@@ -13,7 +13,7 @@
 //! | `skywalker-net` | regions, WAN latency model, DNS, wire codec |
 //! | `skywalker-replica` | continuous-batching replica with radix KV cache |
 //! | `skywalker-workload` | WildChat/Arena/ToT-style trace generators |
-//! | `skywalker-core` | the balancer: the open [`RoutingPolicy`] trait and its four built-ins, selective pushing, trie, ring, controller |
+//! | `skywalker-core` | the balancer: the open [`RoutingPolicy`](core::RoutingPolicy) trait and its four built-ins, selective pushing, trie, ring, controller |
 //! | `skywalker-cost` | reserved/on-demand provisioning cost model |
 //! | `skywalker-metrics` | histograms, request tracking, time series |
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
@@ -36,7 +36,8 @@
 //!     .replicas(balanced_fleet())
 //!     .workload(Workload::Tot, 0.02, 7)
 //!     .policy_factory(P2cLocalFactory::new(7))
-//!     .build();
+//!     .build()
+//!     .expect("fleet and workload are both set");
 //! let summary = run_scenario(&scenario, &FabricConfig::default());
 //! assert!(summary.report.completed > 0);
 //! println!(
@@ -58,25 +59,40 @@
 //!
 //! ## Extending
 //!
-//! Routing policies are open: implement
-//! [`RoutingPolicy`](core::RoutingPolicy) (one required method) and a
-//! [`PolicyFactory`](core::PolicyFactory), hand the factory to
-//! [`ScenarioBuilder::policy_factory`], and the same implementation runs
-//! in the simulator and behind the live TCP servers. The full recipe
-//! lives in `docs/extending.md`; [`P2cLocal`] is the worked example.
+//! Both experiment axes are open:
+//!
+//! - **Routing**: implement [`RoutingPolicy`](core::RoutingPolicy) (one
+//!   required method) and a [`PolicyFactory`](core::PolicyFactory), hand
+//!   the factory to [`ScenarioBuilder::policy_factory`], and the same
+//!   implementation runs in the simulator and behind the live TCP
+//!   servers. Recipe in `docs/extending.md`; [`P2cLocal`] is the worked
+//!   example.
+//! - **Traffic**: implement [`TrafficSource`] —
+//!   a lazy stream of client arrivals the fabric pulls as simulated time
+//!   advances — and hand it to [`ScenarioBuilder::traffic_source`]. The
+//!   paper's four workloads are presets over the same trait
+//!   ([`Workload::source`]); recipe in `docs/workloads.md`;
+//!   [`RagCorpusSource`] and [`FlashCrowdSource`] are the worked
+//!   examples, both living outside the workload crate.
 
 pub mod fabric;
 mod p2c;
 pub mod scenarios;
+pub mod sources;
 
 pub use fabric::{
     run_scenario, Deployment, FabricConfig, FaultEvent, ReplicaPlacement, RunSummary, Scenario,
-    ScenarioBuilder, SystemKind,
+    ScenarioBuilder, ScenarioError, SystemKind,
 };
 pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
     balanced_fleet, fig10_scenario, fig8_scenario, fig9_scenario, l4_fleet, unbalanced_fleet,
     workload_clients, Workload, REGIONS,
+};
+pub use sources::{FlashCrowdSource, RagCorpusConfig, RagCorpusSource};
+pub use workload::{
+    ArrivalSchedule, ClientEvent, ClientListSource, ConversationSource, MergeSource, TotSource,
+    TrafficSource,
 };
 
 // Re-export the member crates under stable names so downstream users can

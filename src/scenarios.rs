@@ -17,8 +17,8 @@
 use skywalker_net::Region;
 use skywalker_replica::GpuProfile;
 use skywalker_workload::{
-    generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig, IdGen,
-    TotConfig,
+    drain, generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig,
+    ConversationSource, IdGen, MergeSource, TotConfig, TotSource, TrafficSource,
 };
 
 use crate::fabric::{ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
@@ -51,7 +51,11 @@ pub fn unbalanced_fleet() -> Vec<ReplicaPlacement> {
     l4_fleet(&[(REGIONS[0], 3), (REGIONS[1], 2), (REGIONS[2], 3)])
 }
 
-/// The four macrobenchmark workloads of Fig. 8.
+/// The four macrobenchmark workloads of Fig. 8 — preset constructors for
+/// the streaming [`TrafficSource`]s that generate them, mirroring what
+/// `PolicyKind` is to the open routing-policy trait. Nothing in the
+/// fabric dispatches on this enum; any external [`TrafficSource`] plugs
+/// into [`ScenarioBuilder::traffic_source`] with equal standing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// ChatBot Arena-style conversations, equal clients per region.
@@ -82,66 +86,84 @@ impl Workload {
             Workload::MixedTree => "Mixed Tree",
         }
     }
-}
 
-/// Builds the client population for a workload, scaled by `scale`
-/// (1.0 = the paper's client counts).
-pub fn workload_clients(workload: Workload, scale: f64, seed: u64) -> Vec<ClientSpec> {
-    let mut ids = IdGen::new();
-    let n = |base: u32| ((f64::from(base) * scale).round() as u32).max(1);
-    match workload {
-        Workload::Arena => generate_conversation_clients(
-            &ConversationConfig::arena(),
-            &[
-                (REGIONS[0], n(80)),
-                (REGIONS[1], n(80)),
-                (REGIONS[2], n(80)),
-            ],
-            seed,
-            &mut ids,
-        ),
-        Workload::WildChat => generate_conversation_clients(
-            &ConversationConfig::wildchat(),
-            &[
-                (REGIONS[0], n(40)),
-                (REGIONS[1], n(30)),
-                (REGIONS[2], n(30)),
-            ],
-            seed,
-            &mut ids,
-        ),
-        Workload::Tot => generate_tot_clients(
-            &TotConfig::branch2(),
-            &[
-                (REGIONS[0], n(40)),
-                (REGIONS[1], n(20)),
-                (REGIONS[2], n(20)),
-            ],
-            2,
-            seed,
-            &mut ids,
-        ),
-        Workload::MixedTree => {
-            // US: two clients of heavy 4-branch trees; EU/Asia: 2-branch.
-            let mut clients =
-                generate_tot_clients(&TotConfig::branch4(), &[(REGIONS[0], 2)], 2, seed, &mut ids);
-            clients.extend(generate_tot_clients(
-                &TotConfig::branch2(),
-                &[(REGIONS[1], n(20)), (REGIONS[2], n(20))],
-                2,
-                seed ^ 0xBEEF,
-                &mut ids,
-            ));
-            clients
+    /// The streaming source generating this workload at the given scale
+    /// (1.0 = the paper's client counts); clients materialize lazily at
+    /// their arrival instants.
+    pub fn source(&self, scale: f64, seed: u64) -> Box<dyn TrafficSource> {
+        let n = |base: u32| ((f64::from(base) * scale).round() as u32).max(1);
+        match self {
+            Workload::Arena => Box::new(
+                ConversationSource::new(
+                    ConversationConfig::arena(),
+                    vec![
+                        (REGIONS[0], n(80)),
+                        (REGIONS[1], n(80)),
+                        (REGIONS[2], n(80)),
+                    ],
+                    seed,
+                )
+                .with_label(self.label()),
+            ),
+            Workload::WildChat => Box::new(
+                ConversationSource::new(
+                    ConversationConfig::wildchat(),
+                    vec![
+                        (REGIONS[0], n(40)),
+                        (REGIONS[1], n(30)),
+                        (REGIONS[2], n(30)),
+                    ],
+                    seed,
+                )
+                .with_label(self.label()),
+            ),
+            Workload::Tot => Box::new(
+                TotSource::new(
+                    TotConfig::branch2(),
+                    vec![
+                        (REGIONS[0], n(40)),
+                        (REGIONS[1], n(20)),
+                        (REGIONS[2], n(20)),
+                    ],
+                    2,
+                    seed,
+                )
+                .with_label(self.label()),
+            ),
+            Workload::MixedTree => {
+                // US: two clients of heavy 4-branch trees; EU/Asia:
+                // 2-branch. The light source's id range starts past the
+                // heavy source's closed-form request count.
+                let heavy = TotSource::new(TotConfig::branch4(), vec![(REGIONS[0], 2)], 2, seed);
+                let light = TotSource::new(
+                    TotConfig::branch2(),
+                    vec![(REGIONS[1], n(20)), (REGIONS[2], n(20))],
+                    2,
+                    seed ^ 0xBEEF,
+                )
+                .with_first_request_id(heavy.request_id_end());
+                Box::new(
+                    MergeSource::new(vec![Box::new(heavy), Box::new(light)])
+                        .with_label(self.label()),
+                )
+            }
         }
     }
 }
 
+/// Builds the client population for a workload, scaled by `scale`
+/// (1.0 = the paper's client counts) — the eager drain of
+/// [`Workload::source`], kept for tests and offline analysis.
+pub fn workload_clients(workload: Workload, scale: f64, seed: u64) -> Vec<ClientSpec> {
+    drain(workload.source(scale, seed).as_mut())
+}
+
 impl ScenarioBuilder {
-    /// Sets the client population to one of the paper's workloads at the
-    /// given scale (1.0 = the paper's client counts).
+    /// Sets the traffic to one of the paper's workloads at the given
+    /// scale (1.0 = the paper's client counts), streamed through
+    /// [`Workload::source`].
     pub fn workload(self, workload: Workload, scale: f64, seed: u64) -> Self {
-        self.clients(workload_clients(workload, scale, seed))
+        self.traffic_source(workload.source(scale, seed))
     }
 
     /// Sets the replica fleet to the workload's standard Fig. 8 fleet
@@ -162,6 +184,7 @@ pub fn fig8_scenario(system: SystemKind, workload: Workload, scale: f64, seed: u
         .fig8_fleet(workload)
         .workload(workload, scale, seed)
         .build()
+        .expect("fig8 presets set a fleet and a workload")
 }
 
 /// The Fig. 9 single-region microbenchmark: everything co-located in one
@@ -182,6 +205,7 @@ pub fn fig9_scenario(system: SystemKind, replicas: u32, clients: u32, seed: u64)
         .replicas(l4_fleet(&[(region, replicas)]))
         .clients(clients)
         .build()
+        .expect("fig9 presets set a fleet and clients")
 }
 
 /// The Fig. 10 diurnal/imbalance experiment: regionally skewed clients
@@ -207,12 +231,18 @@ pub fn fig10_scenario(system: SystemKind, total_replicas: u32, scale: f64, seed:
         seed,
         &mut ids,
     );
-    system.builder().replicas(fleet).clients(clients).build()
+    system
+        .builder()
+        .replicas(fleet)
+        .clients(clients)
+        .build()
+        .expect("fig10 presets set a fleet and clients")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skywalker_sim::SimTime;
 
     #[test]
     fn fleet_builders_place_replicas() {
@@ -252,7 +282,44 @@ mod tests {
         let s = fig9_scenario(SystemKind::SkyWalker, 4, 10, 1);
         assert_eq!(s.replicas.len(), 4);
         assert!(s.replicas.iter().all(|r| r.region == REGIONS[0]));
-        assert!(s.clients.iter().all(|c| c.region == REGIONS[0]));
+        assert_eq!(s.traffic.regions(), vec![REGIONS[0]]);
+        assert!(s
+            .clients_until(SimTime::ZERO)
+            .iter()
+            .all(|c| c.region == REGIONS[0]));
+    }
+
+    /// `Workload::source` must generate exactly what the legacy eager
+    /// generators produced, client for client and id for id.
+    #[test]
+    fn workload_sources_match_legacy_eager_generators() {
+        let seed = 5;
+        let n = |base: u32| ((f64::from(base) * 0.1).round() as u32).max(1);
+
+        let mut ids = IdGen::new();
+        let arena = generate_conversation_clients(
+            &ConversationConfig::arena(),
+            &[
+                (REGIONS[0], n(80)),
+                (REGIONS[1], n(80)),
+                (REGIONS[2], n(80)),
+            ],
+            seed,
+            &mut ids,
+        );
+        assert_eq!(arena, workload_clients(Workload::Arena, 0.1, seed));
+
+        let mut ids = IdGen::new();
+        let mut mixed =
+            generate_tot_clients(&TotConfig::branch4(), &[(REGIONS[0], 2)], 2, seed, &mut ids);
+        mixed.extend(generate_tot_clients(
+            &TotConfig::branch2(),
+            &[(REGIONS[1], n(20)), (REGIONS[2], n(20))],
+            2,
+            seed ^ 0xBEEF,
+            &mut ids,
+        ));
+        assert_eq!(mixed, workload_clients(Workload::MixedTree, 0.1, seed));
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn p2c_scenario(seed: u64) -> Scenario {
         .replicas(skywalker::balanced_fleet())
         .workload(Workload::Arena, 0.05, seed)
         .build()
+        .expect("fleet and workload are set")
 }
 
 #[test]
@@ -29,7 +30,11 @@ fn custom_policy_runs_without_any_system_kind() {
     assert_eq!(scenario.system, None);
     assert_eq!(scenario.label, "P2C-Local");
 
-    let expected: usize = scenario.clients.iter().map(|c| c.total_requests()).sum();
+    let expected: usize = scenario
+        .clients_until(skywalker::sim::SimTime::ZERO)
+        .iter()
+        .map(|c| c.total_requests())
+        .sum();
     let s = run_scenario(&scenario, &FabricConfig::default());
     assert_eq!(
         (s.report.completed + s.report.in_flight + s.report.failed) as usize,
@@ -90,7 +95,8 @@ fn p2c_spill_prefers_the_same_continent() {
         .policy_factory(P2cLocalFactory::new(41))
         .replicas(fleet)
         .clients(clients)
-        .build();
+        .build()
+        .expect("fleet and clients are set");
     let s = run_scenario(&scenario, &FabricConfig::default());
     assert!(s.forwarded > 0, "overloaded EuWest must spill");
     // replica_stats is in fleet order: [EuWest, EuCentral×2, UsEast×2].
@@ -134,7 +140,8 @@ fn builder_constraint_composes_with_custom_policy() {
         .constraint(RoutingConstraint::GdprEu)
         .replicas(fleet)
         .clients(clients)
-        .build();
+        .build()
+        .expect("fleet and clients are set");
     let s = run_scenario(&scenario, &FabricConfig::default());
     assert_eq!(s.forwarded, 0, "EU traffic must not leave the EU");
     let us_work: u64 = s.replica_stats[1..].iter().map(|r| r.completed).sum();
@@ -152,12 +159,20 @@ fn presets_are_thin_wrappers_over_the_builder() {
         .builder()
         .fig8_fleet(Workload::Tot)
         .workload(Workload::Tot, 0.1, 9)
-        .build();
+        .build()
+        .expect("fleet and workload are set");
     assert_eq!(via_preset.label, via_builder.label);
     assert_eq!(via_preset.system, via_builder.system);
     assert_eq!(via_preset.deployment, via_builder.deployment);
     assert_eq!(via_preset.replicas.len(), via_builder.replicas.len());
-    assert_eq!(via_preset.clients.len(), via_builder.clients.len());
+    assert_eq!(
+        via_preset
+            .clients_until(skywalker::sim::SimTime::ZERO)
+            .len(),
+        via_builder
+            .clients_until(skywalker::sim::SimTime::ZERO)
+            .len()
+    );
     // And running both yields identical timelines.
     let a = run_scenario(&via_preset, &FabricConfig::default());
     let b = run_scenario(&via_builder, &FabricConfig::default());
@@ -203,7 +218,8 @@ fn centralized_fleet_keeps_true_replica_regions() {
         })
         .replicas(fleet)
         .clients(clients)
-        .build();
+        .build()
+        .expect("fleet and clients are set");
     let s = run_scenario(&scenario, &FabricConfig::default());
     assert_eq!(s.report.failed, 0);
     // Every P2C sample pairs the two replicas; with a penalty far above

@@ -18,7 +18,11 @@ fn small(system: SystemKind, workload: Workload, seed: u64) -> RunSummary {
 fn all_requests_accounted_for_across_systems() {
     for system in SystemKind::FIG8 {
         let scenario = fig8_scenario(system, Workload::Arena, 0.05, 3);
-        let expected: usize = scenario.clients.iter().map(|c| c.total_requests()).sum();
+        let expected: usize = scenario
+            .clients_until(skywalker::sim::SimTime::ZERO)
+            .iter()
+            .map(|c| c.total_requests())
+            .sum();
         let s = run_scenario(&scenario, &FabricConfig::default());
         assert_eq!(
             (s.report.completed + s.report.in_flight + s.report.failed) as usize,
