@@ -1,0 +1,118 @@
+//! Fleet elasticity over the compressed diurnal day: a static fleet vs
+//! seeded chaos churn vs reactive and predictive autoscaling, all on the
+//! same Fig. 2/3a demand curves. Emits `BENCH_fleet.json` so the
+//! elasticity trajectory stays diffable across commits.
+
+use skywalker::sim::SimDuration;
+use skywalker::{
+    diurnal_reference_predictive, diurnal_reference_reactive, fig10_diurnal_scenario, run_scenario,
+    trio_diurnal_profiles, ChaosConfig, ChaosPlan, FabricConfig, FleetPlan, PredictiveAutoscaler,
+    RunSummary, SystemKind, ThresholdAutoscaler, L4_LITE,
+};
+use skywalker_bench::{f, header, json, row};
+
+const DAY: SimDuration = SimDuration::from_secs(1_200);
+const SCALE: f64 = 0.008;
+const SEED: u64 = 61;
+
+fn run_with(plan: Option<Box<dyn FleetPlan>>, per_region: u32) -> RunSummary {
+    let mut scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, per_region, DAY, SCALE, SEED);
+    scenario.fleet_plan = plan;
+    run_scenario(&scenario, &FabricConfig::default())
+}
+
+/// `(label, fleet plan, starting replicas per region)`.
+type Strategy = (&'static str, Option<Box<dyn FleetPlan>>, u32);
+
+fn main() {
+    println!("# Fleet elasticity — static vs chaos vs autoscaled over the diurnal day\n");
+    let strategies: Vec<Strategy> = vec![
+        ("static-3/region", None, 3),
+        (
+            "chaos",
+            Some(Box::new(ChaosPlan::new(
+                ChaosConfig {
+                    mtbf: SimDuration::from_secs(120),
+                    mttr: SimDuration::from_secs(45),
+                    profile: L4_LITE,
+                    min_live_per_region: 1,
+                    ..ChaosConfig::default()
+                },
+                SEED,
+            ))),
+            3,
+        ),
+        (
+            "autoscaled(reactive)",
+            Some(Box::new(ThresholdAutoscaler::new(
+                diurnal_reference_reactive(),
+            ))),
+            1,
+        ),
+        (
+            "autoscaled(predictive)",
+            Some(Box::new(PredictiveAutoscaler::new(
+                trio_diurnal_profiles(),
+                diurnal_reference_predictive(DAY, SCALE),
+            ))),
+            1,
+        ),
+    ];
+
+    let mut rep = json::Report::new("fleet_elasticity");
+    rep.meta("day_secs", DAY.as_secs_f64());
+    rep.meta("scale", SCALE);
+    rep.meta("seed", SEED);
+
+    header(&[
+        "fleet",
+        "completed",
+        "failed",
+        "retried",
+        "p90 TTFT",
+        "tok/s",
+        "mean fleet",
+        "peak",
+        "joins",
+        "drains",
+        "crashes",
+    ]);
+    for (name, plan, per_region) in strategies {
+        let s = run_with(plan, per_region);
+        row(&[
+            name.to_string(),
+            s.report.completed.to_string(),
+            s.report.failed.to_string(),
+            s.report.retried.to_string(),
+            format!("{:.2}s", s.report.ttft.p90),
+            f(s.report.throughput_tps, 0),
+            f(s.fleet.mean_total(), 2),
+            f(s.fleet.peak_total(), 0),
+            s.fleet.joins.to_string(),
+            s.fleet.drains.to_string(),
+            s.fleet.crashes.to_string(),
+        ]);
+        rep.row(&[
+            ("fleet", name.into()),
+            ("completed", s.report.completed.into()),
+            ("failed", s.report.failed.into()),
+            ("retried", s.report.retried.into()),
+            ("in_flight", s.report.in_flight.into()),
+            ("ttft_p50_s", s.report.ttft.p50.into()),
+            ("ttft_p90_s", s.report.ttft.p90.into()),
+            ("e2e_p90_s", s.report.e2e.p90.into()),
+            ("tok_s", s.report.throughput_tps.into()),
+            ("mean_fleet", s.fleet.mean_total().into()),
+            ("peak_fleet", s.fleet.peak_total().into()),
+            ("joins", s.fleet.joins.into()),
+            ("drains", s.fleet.drains.into()),
+            ("crashes", s.fleet.crashes.into()),
+            ("forwarded", s.forwarded.into()),
+        ]);
+    }
+
+    rep.write("BENCH_fleet.json")
+        .expect("write BENCH_fleet.json");
+    println!("\nChaos completes the day with every request accounted; the");
+    println!("autoscalers trade a little churn for tracking the demand curve.");
+}

@@ -419,6 +419,12 @@ impl RegionalBalancer {
         (avail, self.queue.len() as u32)
     }
 
+    /// Requests dispatched to this balancer's replicas and not yet
+    /// completed — the per-region load signal fleet plans read.
+    pub fn outstanding(&self) -> u32 {
+        self.replicas.values().map(|r| r.outstanding).sum()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> BalancerStats {
         self.stats

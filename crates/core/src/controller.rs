@@ -116,6 +116,14 @@ impl Controller {
         self.current.insert(replica, home);
     }
 
+    /// Forgets a replica entirely (drain or crash): it is no longer
+    /// re-homed on failures nor handed back on recovery. Unknown
+    /// replicas are ignored.
+    pub fn deregister_replica(&mut self, replica: ReplicaId) {
+        self.home.remove(&replica);
+        self.current.remove(&replica);
+    }
+
     /// Records a heartbeat. If the balancer was considered failed, this
     /// triggers recovery: the balancer is revived and its home replicas
     /// are handed back.
@@ -318,6 +326,32 @@ mod tests {
             assert_eq!(c.holder(ReplicaId(i)), Some(LbId(1)), "replica {i}");
         }
         assert!(!sweep.is_empty());
+    }
+
+    #[test]
+    fn deregistered_replicas_never_rehome_or_hand_back() {
+        let mut c = controller();
+        beat_all(&mut c, SimTime::ZERO);
+        c.deregister_replica(ReplicaId(2));
+        // LB 1 (home of replicas 2 and 3) dies: only replica 3 moves.
+        c.heartbeat(LbId(0), SimTime::from_secs(2));
+        c.heartbeat(LbId(2), SimTime::from_secs(2));
+        let actions = c.check(SimTime::from_secs(2));
+        assert!(actions.iter().all(
+            |a| !matches!(a, ControlAction::Reassign { replica, .. } if *replica == ReplicaId(2))
+        ));
+        assert_eq!(c.holder(ReplicaId(2)), None);
+        assert_eq!(c.holder(ReplicaId(3)), Some(LbId(0)));
+        // Recovery hands back only the still-registered replica.
+        let rec = c.heartbeat(LbId(1), SimTime::from_secs(5));
+        assert!(rec.contains(&ControlAction::Reassign {
+            replica: ReplicaId(3),
+            from: LbId(0),
+            to: LbId(1),
+        }));
+        assert!(rec.iter().all(
+            |a| !matches!(a, ControlAction::Reassign { replica, .. } if *replica == ReplicaId(2))
+        ));
     }
 
     #[test]

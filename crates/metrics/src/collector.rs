@@ -18,6 +18,8 @@ struct Record {
     arrived: SimTime,
     first_token: Option<SimTime>,
     completed: Option<SimTime>,
+    failed: bool,
+    retried: bool,
     prompt_tokens: u64,
     cached_prompt_tokens: u64,
     generated_tokens: u64,
@@ -55,6 +57,7 @@ pub enum RequestOutcome {
 pub struct RequestTracker {
     records: HashMap<u64, Record>,
     failed: u64,
+    retried: u64,
 }
 
 impl RequestTracker {
@@ -72,6 +75,8 @@ impl RequestTracker {
                 arrived: at,
                 first_token: None,
                 completed: None,
+                failed: false,
+                retried: false,
                 prompt_tokens,
                 cached_prompt_tokens: 0,
                 generated_tokens: 0,
@@ -91,7 +96,7 @@ impl RequestTracker {
     /// many prompt tokens were served from the prefix cache.
     pub fn completion(&mut self, id: u64, at: SimTime, generated: u64, cached_prompt: u64) {
         if let Some(r) = self.records.get_mut(&id) {
-            if r.completed.is_none() {
+            if r.completed.is_none() && !r.failed {
                 r.completed = Some(at);
                 r.generated_tokens = generated;
                 r.cached_prompt_tokens = cached_prompt.min(r.prompt_tokens);
@@ -99,10 +104,29 @@ impl RequestTracker {
         }
     }
 
-    /// Records a rejected/failed request (it stops counting as in-flight).
+    /// Records a rejected/failed request: it stops counting as in-flight
+    /// and its outcome becomes [`RequestOutcome::Failed`]. Failing a
+    /// completed (or already-failed) request is ignored.
     pub fn failure(&mut self, id: u64) {
-        if self.records.remove(&id).is_some() {
-            self.failed += 1;
+        if let Some(r) = self.records.get_mut(&id) {
+            if r.completed.is_none() && !r.failed {
+                r.failed = true;
+                self.failed += 1;
+            }
+        }
+    }
+
+    /// Records that a live request was retried/rerouted (a crashed
+    /// balancer or replica forced it onto another path). Counted once
+    /// per *request*, however many times it bounces — so the number is
+    /// comparable across retry-delay and polling configurations.
+    /// Unknown, completed, and failed ids are ignored.
+    pub fn retry(&mut self, id: u64) {
+        if let Some(r) = self.records.get_mut(&id) {
+            if r.completed.is_none() && !r.failed && !r.retried {
+                r.retried = true;
+                self.retried += 1;
+            }
         }
     }
 
@@ -111,13 +135,15 @@ impl RequestTracker {
         self.records.get(&id).map(|r| {
             if r.completed.is_some() {
                 RequestOutcome::Completed
+            } else if r.failed {
+                RequestOutcome::Failed
             } else {
                 RequestOutcome::InFlight
             }
         })
     }
 
-    /// Number of requests registered and not failed.
+    /// Number of requests registered (completed, in flight, or failed).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -153,6 +179,7 @@ impl RequestTracker {
                     cached_tokens += r.cached_prompt_tokens;
                     generated_tokens += r.generated_tokens;
                 }
+                None if r.failed => {}
                 None => in_flight += 1,
             }
         }
@@ -162,6 +189,7 @@ impl RequestTracker {
             completed,
             in_flight,
             failed: self.failed,
+            retried: self.retried,
             prompt_tokens,
             cached_prompt_tokens: cached_tokens,
             generated_tokens,
@@ -196,6 +224,11 @@ pub struct RunReport {
     pub in_flight: u64,
     /// Requests rejected or failed.
     pub failed: u64,
+    /// Requests that were retried/rerouted at least once (crashed
+    /// balancers or replicas forced them onto another path). Counts
+    /// requests, not bounce events, so the number is comparable across
+    /// retry-delay configurations.
+    pub retried: u64,
     /// Total prompt tokens across completed requests.
     pub prompt_tokens: u64,
     /// Prompt tokens served from the prefix cache.
@@ -292,12 +325,61 @@ mod tests {
         let mut t = RequestTracker::new();
         t.arrival(1, ms(0), 10);
         t.failure(1);
+        t.failure(1); // repeat: still one failure
         t.failure(42); // unknown id: no effect
         let r = t.report(SimTime::from_secs(1));
         assert_eq!(r.failed, 1);
         assert_eq!(r.completed, 0);
         assert_eq!(r.in_flight, 0);
-        assert_eq!(t.outcome(1), None);
+        assert_eq!(t.outcome(1), Some(RequestOutcome::Failed));
+    }
+
+    #[test]
+    fn failure_is_terminal() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.failure(1);
+        // A straggling completion for a failed request is ignored: the
+        // outcome stays Failed and nothing double-counts.
+        t.completion(1, ms(5), 3, 0);
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!((r.failed, r.completed, r.in_flight), (1, 0, 0));
+        assert_eq!(t.outcome(1), Some(RequestOutcome::Failed));
+        // And failing a completed request is equally ignored.
+        t.arrival(2, ms(0), 10);
+        t.completion(2, ms(5), 3, 0);
+        t.failure(2);
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!((r.failed, r.completed), (1, 1));
+        assert_eq!(t.outcome(2), Some(RequestOutcome::Completed));
+    }
+
+    #[test]
+    fn retries_counted_once_per_live_request() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.retry(1);
+        t.retry(1); // second bounce of the same request: still one
+        t.arrival(2, ms(0), 10);
+        t.completion(2, ms(5), 1, 0);
+        t.retry(2); // completed: ignored
+        t.retry(99); // unknown: ignored
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.retried, 1);
+    }
+
+    #[test]
+    fn failed_requests_keep_their_ttft() {
+        // A request that streamed a first token and then died contributes
+        // its (real) TTFT but no end-to-end sample.
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.first_token(1, ms(200));
+        t.failure(1);
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.ttft.count, 1);
+        assert_eq!(r.e2e.count, 0);
+        assert_eq!(r.failed, 1);
     }
 
     #[test]

@@ -177,8 +177,14 @@ pub fn generate_clients(
 /// Generates one user's full [`ClientSpec`] — activity level and all of
 /// their conversations. Each user's randomness is an independent stream
 /// keyed by `(seed, user id)`, so users can be generated in any order or
-/// lazily at arrival time without perturbing one another.
-pub(crate) fn generate_user(
+/// lazily at arrival time without perturbing one another — which is how
+/// [`crate::source::ConversationSource`] streams them, and how external
+/// sources with their own arrival processes (e.g. a diurnal feed) can
+/// generate each user at its arrival instant instead of materializing
+/// the population up front. Pass per-pool [`Zipf`]s built from the
+/// config (`Zipf::new(cfg.global_templates.max(1), cfg.template_zipf)`,
+/// and the regional pool if `cfg.regional_templates > 0`).
+pub fn generate_user(
     cfg: &ConversationConfig,
     region: Region,
     user_id: u64,

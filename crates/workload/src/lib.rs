@@ -35,7 +35,10 @@ pub mod program;
 pub mod source;
 pub mod tot;
 
-pub use conversation::{generate_clients as generate_conversation_clients, ConversationConfig};
+pub use conversation::{
+    generate_clients as generate_conversation_clients, generate_user as generate_conversation_user,
+    ConversationConfig,
+};
 pub use diurnal::{aggregate_hourly, fig2_countries, fig3_regions, variance_ratio, DiurnalProfile};
 pub use lengths::{empirical_cdf, LengthModel};
 pub use prefix_stats::{

@@ -1,16 +1,21 @@
 //! Balancer failure drill (§4.2): crash a regional balancer mid-run,
 //! watch the controller re-home its replicas to the nearest surviving
-//! balancer, then bring it back and verify the hand-back.
+//! balancer, then bring it back and verify the hand-back — scripted
+//! through the open fleet surface ([`ScheduledPlan`]), which also lets
+//! the same drill kill a *replica* outright and watch its in-flight
+//! work reroute.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --release --example failover_drill
 //! ```
 
+use skywalker::replica::ReplicaId;
 use skywalker::scenarios::balanced_fleet;
 use skywalker::sim::SimTime;
 use skywalker::{
-    run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario, SystemKind, Workload,
+    run_scenario, workload_clients, FabricConfig, FleetCommand, FleetEvent, ScheduledPlan,
+    SystemKind, Workload,
 };
 
 fn main() {
@@ -20,34 +25,50 @@ fn main() {
 
     println!("Failover drill: {total_requests} requests, 3 regions, 12 replicas");
     println!("  t=20s  balancer in region 1 crashes");
-    println!("  t=60s  it recovers\n");
+    println!("  t=35s  a replica in region 0 crashes (in-flight work reroutes)");
+    println!("  t=60s  the balancer recovers\n");
 
-    let baseline = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients.clone());
+    let baseline = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients.clone())
+        .build()
+        .expect("fleet and clients are both set");
     let healthy = run_scenario(&baseline, &cfg);
 
-    let mut drill = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
-    drill.faults = vec![
-        FaultEvent {
-            at: SimTime::from_secs(20),
-            lb_index: 1,
-            down: true,
-        },
-        FaultEvent {
-            at: SimTime::from_secs(60),
-            lb_index: 1,
-            down: false,
-        },
-    ];
+    let plan = ScheduledPlan::new(vec![
+        FleetCommand::new(SimTime::from_secs(20), FleetEvent::LbDown { lb: 1 }),
+        FleetCommand::new(
+            SimTime::from_secs(35),
+            FleetEvent::ReplicaCrash {
+                replica: ReplicaId(2),
+            },
+        ),
+        FleetCommand::new(SimTime::from_secs(60), FleetEvent::LbUp { lb: 1 }),
+    ])
+    .with_label("drill");
+    let drill = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients)
+        .fleet_plan(Box::new(plan))
+        .build()
+        .expect("fleet and clients are both set");
     let faulted = run_scenario(&drill, &cfg);
 
     println!(
-        "  {:<22} {:>10} {:>10} {:>9} {:>8}",
-        "run", "completed", "failed", "tok/s", "p90 TTFT"
+        "  {:<22} {:>10} {:>8} {:>8} {:>9} {:>8}",
+        "run", "completed", "failed", "retried", "tok/s", "p90 TTFT"
     );
-    for (name, s) in [("healthy", &healthy), ("with LB-1 crash", &faulted)] {
+    for (name, s) in [("healthy", &healthy), ("with crashes", &faulted)] {
         println!(
-            "  {:<22} {:>10} {:>10} {:>9.0} {:>7.2}s",
-            name, s.report.completed, s.report.failed, s.report.throughput_tps, s.report.ttft.p90
+            "  {:<22} {:>10} {:>8} {:>8} {:>9.0} {:>7.2}s",
+            name,
+            s.report.completed,
+            s.report.failed,
+            s.report.retried,
+            s.report.throughput_tps,
+            s.report.ttft.p90
         );
     }
 
@@ -56,7 +77,9 @@ fn main() {
         healthy.report.completed + healthy.report.failed + healthy.report.in_flight,
         "no request may vanish"
     );
+    assert_eq!(faulted.fleet.crashes, 1);
     println!("\nEvery request was accounted for: clients whose balancer died");
-    println!("retried against the next-nearest one; the controller re-homed");
-    println!("the orphaned replicas until recovery handed them back.");
+    println!("retried against the next-nearest one, the crashed replica's");
+    println!("in-flight work was rerouted, and the controller re-homed the");
+    println!("orphaned replicas until recovery handed them back.");
 }

@@ -11,13 +11,17 @@
 //! service throughput, TTFT and end-to-end latency distributions,
 //! KV-cache hit rate, and load-balance diagnostics.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 use skywalker_core::{
     BalancerConfig, ControlAction, Controller, Decision, LbId, PolicyFactory, PolicyKind, PushMode,
     RegionalBalancer, RoutingConstraint,
+};
+use skywalker_fleet::{
+    FleetCommand, FleetEvent, FleetObservation, FleetPlan, LbObservation, MergePlan,
+    ReplicaObservation, ScheduledPlan,
 };
 use skywalker_metrics::{peak_gap, RequestTracker, RunReport, TimeSeries};
 use skywalker_net::{DnsResolver, Endpoint, LatencyModel, Region};
@@ -174,6 +178,13 @@ pub struct ReplicaPlacement {
 
 /// Take a balancer down (or bring it back) at a point in time — the §4.2
 /// failure-recovery drills.
+///
+/// This is the legacy closed schedule, kept as a convenience: the
+/// fabric turns a `Vec<FaultEvent>` into a [`ScheduledPlan`] of
+/// [`FleetEvent::LbDown`]/[`FleetEvent::LbUp`] commands (pinned
+/// byte-identical by `tests/failover.rs`). New code — and anything
+/// beyond balancer flaps, like replica churn or autoscaling — should
+/// use [`ScenarioBuilder::fleet_plan`] directly.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultEvent {
     /// When the fault fires.
@@ -210,8 +221,13 @@ pub struct Scenario {
     /// scenario can be replayed any number of times; pre-materialized
     /// populations ride along as a [`ClientListSource`].
     pub traffic: Box<dyn TrafficSource>,
-    /// Balancer fault injections.
+    /// Balancer fault injections — the legacy closed schedule, applied
+    /// as a [`ScheduledPlan`] alongside (and merged with) `fleet_plan`.
     pub faults: Vec<FaultEvent>,
+    /// The fleet control plane: a streaming plan the fabric polls for
+    /// joins, drains, crashes, and balancer flaps as sim time advances.
+    /// `None` runs a static fleet (plus whatever `faults` injects).
+    pub fleet_plan: Option<Box<dyn FleetPlan>>,
 }
 
 impl Scenario {
@@ -328,6 +344,7 @@ pub struct ScenarioBuilder {
     replicas: Vec<ReplicaPlacement>,
     traffic: Option<Box<dyn TrafficSource>>,
     faults: Vec<FaultEvent>,
+    fleet_plan: Option<Box<dyn FleetPlan>>,
     constraint: Option<RoutingConstraint>,
 }
 
@@ -393,7 +410,8 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Replaces the fault schedule.
+    /// Replaces the fault schedule. Faults run as a [`ScheduledPlan`]
+    /// of balancer flaps, merged with any [`ScenarioBuilder::fleet_plan`].
     pub fn faults(mut self, faults: Vec<FaultEvent>) -> Self {
         self.faults = faults;
         self
@@ -402,6 +420,17 @@ impl ScenarioBuilder {
     /// Appends one fault injection.
     pub fn fault(mut self, fault: FaultEvent) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Installs a fleet control plane: the fabric polls the plan as
+    /// simulated time advances and applies its joins, drains, crashes,
+    /// and balancer flaps mid-run. Any external [`FleetPlan`]
+    /// implementation plugs in here — the fleet counterpart of
+    /// [`ScenarioBuilder::policy_factory`] and
+    /// [`ScenarioBuilder::traffic_source`].
+    pub fn fleet_plan(mut self, plan: Box<dyn FleetPlan>) -> Self {
+        self.fleet_plan = Some(plan);
         self
     }
 
@@ -451,6 +480,7 @@ impl ScenarioBuilder {
             replicas: self.replicas,
             traffic,
             faults: self.faults,
+            fleet_plan: self.fleet_plan,
         })
     }
 }
@@ -476,6 +506,12 @@ pub struct FabricConfig {
     /// larger is bigger batches. Clamped to at least one millisecond so
     /// the poll loop always advances virtual time at a sane rate.
     pub traffic_poll_interval: SimDuration,
+    /// How often the fabric polls the scenario's [`FleetPlan`] with a
+    /// fresh [`FleetObservation`]. Scheduled commands keep their exact
+    /// instants regardless (the poll looks one interval ahead); this
+    /// sets the control plane's reaction latency for *reactive* plans
+    /// (autoscalers). Clamped to at least one millisecond.
+    pub fleet_poll_interval: SimDuration,
     /// Hard stop; the run ends even if clients are unfinished.
     pub deadline: SimTime,
     /// Memory bound of the balancer routing tries, in tokens.
@@ -499,6 +535,7 @@ impl Default for FabricConfig {
             controller_timeout: SimDuration::from_secs(2),
             retry_delay: SimDuration::from_secs(1),
             traffic_poll_interval: SimDuration::from_millis(500),
+            fleet_poll_interval: SimDuration::from_millis(500),
             deadline: SimTime::from_secs(4 * 3600),
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
@@ -537,6 +574,9 @@ pub struct RunSummary {
     pub kv_peak_gap: f64,
     /// Per-replica KV-utilization traces.
     pub kv_series: Vec<TimeSeries>,
+    /// Fleet elasticity: per-region fleet-size traces and churn
+    /// counters.
+    pub fleet: FleetSummary,
 }
 
 impl RunSummary {
@@ -548,6 +588,55 @@ impl RunSummary {
         } else {
             0.0
         }
+    }
+}
+
+/// What the fleet did over one run: per-region serving-replica traces
+/// plus scale/failure counters. A static fleet shows flat traces and
+/// zero counters.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSummary {
+    /// Serving (live, non-draining) replica count over time, one series
+    /// per region that ever hosted a replica. Each series has a point
+    /// at `t = 0` and at the run end, so time-weighted means are well
+    /// defined.
+    pub sizes: Vec<(Region, TimeSeries)>,
+    /// Replicas that joined mid-run.
+    pub joins: u64,
+    /// Replicas drained (gracefully decommissioned).
+    pub drains: u64,
+    /// Replicas crashed.
+    pub crashes: u64,
+    /// Serving replicas at the end of the run.
+    pub final_replicas: u32,
+}
+
+impl FleetSummary {
+    /// The fleet-size trace of one region.
+    pub fn series(&self, region: Region) -> Option<&TimeSeries> {
+        self.sizes
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, s)| s)
+    }
+
+    /// Time-weighted mean serving-replica count across all regions —
+    /// the "replica-seconds per second" a static fleet would need to
+    /// match this run's capacity (the equal-cost comparison).
+    pub fn mean_total(&self) -> f64 {
+        self.sizes.iter().map(|(_, s)| s.time_weighted_mean()).sum()
+    }
+
+    /// Peak total serving-replica count observed at any single record
+    /// point, per region, summed. (Regions peak at different times, so
+    /// this upper-bounds the instantaneous total.)
+    pub fn peak_total(&self) -> f64 {
+        self.sizes.iter().map(|(_, s)| s.peak()).sum()
+    }
+
+    /// True if the fleet ever changed size.
+    pub fn is_elastic(&self) -> bool {
+        self.joins + self.drains + self.crashes > 0
     }
 }
 
@@ -606,9 +695,12 @@ enum Ev {
     },
     HeartbeatTick,
     ControllerTick,
-    Fault {
-        lb: u32,
-        down: bool,
+    /// Poll the scenario's [`FleetPlan`] with a fresh observation;
+    /// reschedules itself while the plan has more to give.
+    FleetPoll,
+    /// Apply one fleet change at its exact instant.
+    FleetApply {
+        event: FleetEvent,
     },
 }
 
@@ -618,6 +710,19 @@ struct ClientState {
     stage_idx: usize,
     inflight: u32,
     finished: bool,
+}
+
+/// Lifecycle of a deployed replica, as the fabric tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaHealth {
+    /// Serving normally.
+    Active,
+    /// No new dispatch; finishing in-flight work.
+    Draining,
+    /// Drained to idle; permanently out of service.
+    Retired,
+    /// Killed; its in-flight work was failed/rerouted.
+    Crashed,
 }
 
 struct Fabric {
@@ -649,6 +754,21 @@ struct Fabric {
     peak_outstanding: Vec<u32>,
     active_clients: usize,
     forward_enabled: bool,
+    /// The scenario's fleet control plane (faults merged in), polled as
+    /// sim time advances.
+    plan: Option<Box<dyn FleetPlan>>,
+    /// Randomness stream handed to the plan (separate from the network
+    /// stream, so plans cannot perturb latency sampling).
+    fleet_rng: DetRng,
+    /// Lifecycle of each deployed replica (indexed like `replicas`).
+    replica_health: Vec<ReplicaHealth>,
+    /// Per-region serving-replica traces.
+    fleet_sizes: BTreeMap<Region, TimeSeries>,
+    joins: u64,
+    drains: u64,
+    crashes: u64,
+    /// Requests already given their one post-crash reroute.
+    rerouted_once: HashSet<u64>,
 }
 
 impl Fabric {
@@ -824,6 +944,178 @@ impl Fabric {
             }
         }
     }
+
+    /// Assembles the control-plane snapshot handed to the fleet plan.
+    fn observe(&self, now: SimTime) -> FleetObservation {
+        let replicas = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match self.replica_health[i] {
+                ReplicaHealth::Active | ReplicaHealth::Draining => Some(ReplicaObservation {
+                    id: ReplicaId(i as u32),
+                    region: self.replica_region[i],
+                    pending: r.pending_len() as u32,
+                    running: r.running_len() as u32,
+                    kv_utilization: r.kv_utilization(),
+                    draining: self.replica_health[i] == ReplicaHealth::Draining,
+                }),
+                ReplicaHealth::Retired | ReplicaHealth::Crashed => None,
+            })
+            .collect();
+        let balancers = self
+            .lbs
+            .iter()
+            .enumerate()
+            .map(|(i, lb)| LbObservation {
+                index: i as u32,
+                region: lb.region(),
+                queue: lb.queue_len() as u32,
+                outstanding: lb.outstanding(),
+                alive: self.lb_alive[i],
+            })
+            .collect();
+        FleetObservation {
+            now,
+            replicas,
+            balancers,
+        }
+    }
+
+    /// Appends the current per-region serving-replica counts to the
+    /// fleet-size traces.
+    fn record_fleet(&mut self, now: SimTime) {
+        let mut counts: BTreeMap<Region, f64> =
+            self.fleet_sizes.keys().map(|r| (*r, 0.0)).collect();
+        for (i, &region) in self.replica_region.iter().enumerate() {
+            if self.replica_health[i] == ReplicaHealth::Active {
+                *counts.entry(region).or_insert(0.0) += 1.0;
+            }
+        }
+        for (region, count) in counts {
+            self.fleet_sizes
+                .entry(region)
+                .or_insert_with(|| TimeSeries::new(format!("fleet/{region:?}")))
+                .record(now, count);
+        }
+    }
+
+    /// The balancer a joining replica in `region` attaches to: the
+    /// balancer fronting that region if one exists, else the nearest by
+    /// RTT (covers centralized deployments and joins into regions with
+    /// no balancer of their own).
+    fn home_lb_for(&self, region: Region) -> usize {
+        self.lbs
+            .iter()
+            .position(|lb| lb.region() == region)
+            .unwrap_or_else(|| {
+                (0..self.lbs.len())
+                    .min_by_key(|&i| (self.cfg.net.rtt(region, self.lbs[i].region()), i))
+                    .expect("a scenario always deploys at least one balancer")
+            })
+    }
+
+    /// Gives a crash casualty its one reroute, or counts it failed.
+    fn fail_or_reroute(&mut self, req: Request, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let id = req.id.0;
+        let client = self.req_client.get(&id).copied();
+        if let Some(client) = client {
+            if self.rerouted_once.insert(id) {
+                sched.at(now, Ev::Retry { client, req });
+                return;
+            }
+        }
+        self.tracker.failure(id);
+        if let Some(client) = client {
+            self.request_finished(client, sched);
+        }
+    }
+
+    /// Applies one fleet change at its effective instant.
+    fn apply_fleet_event(&mut self, event: FleetEvent, now: SimTime, sched: &mut Scheduler<Ev>) {
+        match event {
+            FleetEvent::LbDown { lb } => {
+                let Some(alive) = self.lb_alive.get_mut(lb as usize) else {
+                    return;
+                };
+                *alive = false;
+                // A crashed balancer loses its queue immediately; the
+                // controller notices the silence within its timeout.
+                let lost = self.lbs[lb as usize].drain_queue();
+                for req in lost {
+                    if let Some(&client) = self.req_client.get(&req.id.0) {
+                        sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
+                    }
+                }
+            }
+            FleetEvent::LbUp { lb } => {
+                if let Some(alive) = self.lb_alive.get_mut(lb as usize) {
+                    *alive = true;
+                }
+            }
+            FleetEvent::ReplicaJoin { region, profile } => {
+                let rid = ReplicaId(self.replicas.len() as u32);
+                self.replicas.push(Replica::new(rid, profile));
+                self.replica_region.push(region);
+                self.replica_stepping.push(false);
+                self.replica_health.push(ReplicaHealth::Active);
+                self.kv_series
+                    .push(TimeSeries::new(format!("replica-{}/kv", rid.0)));
+                self.peak_outstanding.push(0);
+                let home = self.home_lb_for(region);
+                self.lbs[home].add_replica_in(rid, region);
+                // Home is the regional balancer even if currently down:
+                // the controller's next check re-homes the replica to a
+                // survivor, and recovery hands it back.
+                self.controller.register_replica(rid, LbId(home as u32));
+                self.joins += 1;
+                self.record_fleet(now);
+                sched.at(now, Ev::LbDispatch { lb: home as u32 });
+            }
+            FleetEvent::ReplicaDrain { replica } => {
+                let i = replica.0 as usize;
+                if self
+                    .replica_health
+                    .get(i)
+                    .is_none_or(|h| *h != ReplicaHealth::Active)
+                {
+                    return; // unknown, already draining, or dead: no-op
+                }
+                if let Some(holder) = self.controller.holder(replica) {
+                    self.lbs[holder.0 as usize].remove_replica(replica);
+                }
+                self.controller.deregister_replica(replica);
+                let idle = self.replicas[i].is_idle() && !self.replica_stepping[i];
+                self.replica_health[i] = if idle {
+                    ReplicaHealth::Retired
+                } else {
+                    ReplicaHealth::Draining
+                };
+                self.drains += 1;
+                self.record_fleet(now);
+            }
+            FleetEvent::ReplicaCrash { replica } => {
+                let i = replica.0 as usize;
+                let Some(&health) = self.replica_health.get(i) else {
+                    return;
+                };
+                if matches!(health, ReplicaHealth::Retired | ReplicaHealth::Crashed) {
+                    return;
+                }
+                if let Some(holder) = self.controller.holder(replica) {
+                    self.lbs[holder.0 as usize].remove_replica(replica);
+                }
+                self.controller.deregister_replica(replica);
+                self.replica_health[i] = ReplicaHealth::Crashed;
+                self.crashes += 1;
+                self.record_fleet(now);
+                let lost = self.replicas[i].fail_all();
+                for req in lost {
+                    self.fail_or_reroute(req, now, sched);
+                }
+            }
+        }
+    }
 }
 
 impl World for Fabric {
@@ -885,6 +1177,7 @@ impl World for Fabric {
                 }
             }
             Ev::Retry { client, req } => {
+                self.tracker.retry(req.id.0);
                 self.issue_request(client, req, sched, now, false);
             }
             Ev::LbReceive { lb, req, hops } => {
@@ -906,12 +1199,28 @@ impl World for Fabric {
                 self.route_decisions(lb, decisions, sched);
             }
             Ev::ReplicaReceive { replica, req } => {
-                self.replicas[replica as usize].enqueue(req);
+                let i = replica as usize;
+                match self.replica_health[i] {
+                    ReplicaHealth::Crashed => {
+                        // Landed on a corpse (dispatched before the
+                        // crash): treat like the rest of its in-flight
+                        // cohort.
+                        self.fail_or_reroute(req, now, sched);
+                        return;
+                    }
+                    ReplicaHealth::Retired => {
+                        // Raced a drain completion in transit: the
+                        // replica still owes this request service.
+                        self.replica_health[i] = ReplicaHealth::Draining;
+                    }
+                    ReplicaHealth::Active | ReplicaHealth::Draining => {}
+                }
+                self.replicas[i].enqueue(req);
                 sched.at(now, Ev::ReplicaKick { replica });
             }
             Ev::ReplicaKick { replica } => {
                 let i = replica as usize;
-                if self.replica_stepping[i] {
+                if self.replica_stepping[i] || self.replica_health[i] == ReplicaHealth::Crashed {
                     return;
                 }
                 loop {
@@ -951,6 +1260,11 @@ impl World for Fabric {
             } => {
                 let i = replica as usize;
                 self.replica_stepping[i] = false;
+                // Outputs of an iteration that finished before a crash
+                // landed still stream out (crash granularity is the
+                // iteration boundary); the still-running remainder was
+                // already failed by the crash itself.
+                let crashed = self.replica_health[i] == ReplicaHealth::Crashed;
                 let r_region = self.replica_region[i];
                 for id in first_tokens {
                     if let Some(&client) = self.req_client.get(&id.0) {
@@ -982,7 +1296,14 @@ impl World for Fabric {
                         );
                     }
                 }
-                sched.at(now, Ev::ReplicaKick { replica });
+                if !crashed {
+                    if self.replica_health[i] == ReplicaHealth::Draining
+                        && self.replicas[i].is_idle()
+                    {
+                        self.replica_health[i] = ReplicaHealth::Retired;
+                    }
+                    sched.at(now, Ev::ReplicaKick { replica });
+                }
             }
             Ev::DeliverFirstToken { req } => {
                 self.tracker.first_token(req.0, now);
@@ -1016,7 +1337,9 @@ impl World for Fabric {
                     }
                 }
                 for (ri, r) in self.replicas.iter().enumerate() {
-                    self.kv_series[ri].record(now, r.kv_utilization());
+                    if self.replica_health[ri] != ReplicaHealth::Crashed {
+                        self.kv_series[ri].record(now, r.kv_utilization());
+                    }
                 }
                 if self.forward_enabled {
                     let statuses: Vec<(u32, Region, u32, u32)> = self
@@ -1086,18 +1409,28 @@ impl World for Fabric {
                 self.apply_control_actions(actions, now, sched);
                 sched.after(self.cfg.heartbeat_interval, Ev::ControllerTick);
             }
-            Ev::Fault { lb, down } => {
-                self.lb_alive[lb as usize] = !down;
-                if down {
-                    // A crashed balancer loses its queue immediately; the
-                    // controller notices the silence within its timeout.
-                    let lost = self.lbs[lb as usize].drain_queue();
-                    for req in lost {
-                        if let Some(&client) = self.req_client.get(&req.id.0) {
-                            sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
-                        }
-                    }
+            Ev::FleetPoll => {
+                if self.plan.is_none() {
+                    return;
                 }
+                let obs = self.observe(now);
+                // Look one poll interval ahead so every scheduled
+                // command can fire at its exact instant instead of
+                // being quantized to poll boundaries.
+                let horizon = now + self.cfg.fleet_poll_interval;
+                let mut plan = self.plan.take().expect("checked above");
+                let commands = plan.next_events(horizon, &obs, &mut self.fleet_rng);
+                let done = plan.is_done();
+                self.plan = Some(plan);
+                for FleetCommand { at, event } in commands {
+                    sched.at(at, Ev::FleetApply { event });
+                }
+                if !done {
+                    sched.after(self.cfg.fleet_poll_interval, Ev::FleetPoll);
+                }
+            }
+            Ev::FleetApply { event } => {
+                self.apply_fleet_event(event, now, sched);
             }
         }
     }
@@ -1117,6 +1450,36 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     // same scenario replays identically any number of times.
     let mut source = scenario.traffic.clone();
     let mut traffic_rng = DetRng::for_component(cfg.seed, "fabric/traffic");
+
+    // The fleet control plane: the legacy fault schedule rides along as
+    // a ScheduledPlan of balancer flaps, merged with any custom plan.
+    // Each run polls a fresh clone, like the traffic source.
+    let fault_plan: Option<Box<dyn FleetPlan>> = (!scenario.faults.is_empty()).then(|| {
+        Box::new(
+            ScheduledPlan::new(
+                scenario
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        FleetCommand::new(
+                            f.at,
+                            if f.down {
+                                FleetEvent::LbDown { lb: f.lb_index }
+                            } else {
+                                FleetEvent::LbUp { lb: f.lb_index }
+                            },
+                        )
+                    })
+                    .collect(),
+            )
+            .with_label("faults"),
+        ) as Box<dyn FleetPlan>
+    });
+    let plan: Option<Box<dyn FleetPlan>> = match (fault_plan, scenario.fleet_plan.clone()) {
+        (Some(f), Some(p)) => Some(Box::new(MergePlan::new(vec![f, p]))),
+        (Some(f), None) => Some(f),
+        (None, p) => p,
+    };
 
     // Decide balancer placement. Client regions come from the source's
     // declaration, so every region that may ever see an arrival has a
@@ -1230,6 +1593,15 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     world_cfg.traffic_poll_interval = world_cfg
         .traffic_poll_interval
         .max(SimDuration::from_millis(1));
+    world_cfg.fleet_poll_interval = world_cfg
+        .fleet_poll_interval
+        .max(SimDuration::from_millis(1));
+    let mut fleet_sizes: BTreeMap<Region, TimeSeries> = BTreeMap::new();
+    for p in &scenario.replicas {
+        fleet_sizes
+            .entry(p.region)
+            .or_insert_with(|| TimeSeries::new(format!("fleet/{:?}", p.region)));
+    }
     let mut world = Fabric {
         cfg: world_cfg,
         rng: DetRng::for_component(cfg.seed, "fabric/net"),
@@ -1263,7 +1635,16 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         peak_outstanding: vec![0; n_replicas],
         active_clients,
         forward_enabled,
+        plan,
+        fleet_rng: DetRng::for_component(cfg.seed, "fabric/fleet"),
+        replica_health: vec![ReplicaHealth::Active; n_replicas],
+        fleet_sizes,
+        joins: 0,
+        drains: 0,
+        crashes: 0,
+        rerouted_once: HashSet::new(),
     };
+    world.record_fleet(SimTime::ZERO);
 
     let mut engine: Engine<Ev> = Engine::new();
     for c in 0..world.clients.len() {
@@ -1280,19 +1661,14 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         if !world.source_exhausted {
             engine.schedule(SimTime::ZERO, Ev::TrafficPoll);
         }
-    }
-    for f in &scenario.faults {
-        engine.schedule(
-            f.at,
-            Ev::Fault {
-                lb: f.lb_index,
-                down: f.down,
-            },
-        );
+        if world.plan.is_some() {
+            engine.schedule(SimTime::ZERO, Ev::FleetPoll);
+        }
     }
 
     let stats = engine.run_until(&mut world, cfg.deadline);
     let end = stats.end_time;
+    world.record_fleet(end);
 
     let report = world.tracker.report(end);
     let replica_stats: Vec<ReplicaStats> = world.replicas.iter().map(|r| r.stats()).collect();
@@ -1316,7 +1692,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         }
     };
     let dispatch_imbalance = imbalance(
-        (0..n_replicas)
+        (0..world.replicas.len())
             .map(|i| *dispatch_counts.get(&(i as u32)).unwrap_or(&0) as f64)
             .collect(),
     );
@@ -1335,6 +1711,18 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         .unwrap_or(0);
     let series_refs: Vec<&TimeSeries> = world.kv_series.iter().collect();
     let kv_peak_gap = peak_gap(&series_refs);
+    let final_replicas = world
+        .replica_health
+        .iter()
+        .filter(|h| **h == ReplicaHealth::Active)
+        .count() as u32;
+    let fleet = FleetSummary {
+        sizes: world.fleet_sizes.into_iter().collect(),
+        joins: world.joins,
+        drains: world.drains,
+        crashes: world.crashes,
+        final_replicas,
+    };
 
     RunSummary {
         label: scenario.label.clone(),
@@ -1354,5 +1742,6 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         peak_lb_queue,
         kv_peak_gap,
         kv_series: world.kv_series,
+        fleet,
     }
 }

@@ -14,6 +14,7 @@
 //! | `skywalker-replica` | continuous-batching replica with radix KV cache |
 //! | `skywalker-workload` | WildChat/Arena/ToT-style trace generators |
 //! | `skywalker-core` | the balancer: the open [`RoutingPolicy`](core::RoutingPolicy) trait and its four built-ins, selective pushing, trie, ring, controller |
+//! | `skywalker-fleet` | the elastic fleet control plane: the open [`FleetPlan`] trait, [`ScheduledPlan`], [`ChaosPlan`], [`ThresholdAutoscaler`] |
 //! | `skywalker-cost` | reserved/on-demand provisioning cost model |
 //! | `skywalker-metrics` | histograms, request tracking, time series |
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
@@ -59,7 +60,7 @@
 //!
 //! ## Extending
 //!
-//! Both experiment axes are open:
+//! All three experiment axes are open:
 //!
 //! - **Routing**: implement [`RoutingPolicy`](core::RoutingPolicy) (one
 //!   required method) and a [`PolicyFactory`](core::PolicyFactory), hand
@@ -74,22 +75,37 @@
 //!   ([`Workload::source`]); recipe in `docs/workloads.md`;
 //!   [`RagCorpusSource`] and [`FlashCrowdSource`] are the worked
 //!   examples, both living outside the workload crate.
+//! - **Fleet**: implement [`FleetPlan`] — a stream of joins, drains,
+//!   crashes, and balancer flaps the fabric polls with a live
+//!   [`FleetObservation`] as simulated time advances — and hand it to
+//!   [`ScenarioBuilder::fleet_plan`]. [`ScheduledPlan`], [`ChaosPlan`],
+//!   and [`ThresholdAutoscaler`] are the built-ins; recipe in
+//!   `docs/fleet.md`; [`PredictiveAutoscaler`] (diurnal-aware
+//!   pre-provisioning) is the worked example outside the fleet crate.
 
+pub mod autoscale;
 pub mod fabric;
 mod p2c;
 pub mod scenarios;
 pub mod sources;
 
+pub use autoscale::{PredictiveAutoscaler, PredictiveConfig};
 pub use fabric::{
-    run_scenario, Deployment, FabricConfig, FaultEvent, ReplicaPlacement, RunSummary, Scenario,
-    ScenarioBuilder, ScenarioError, SystemKind,
+    run_scenario, Deployment, FabricConfig, FaultEvent, FleetSummary, ReplicaPlacement, RunSummary,
+    Scenario, ScenarioBuilder, ScenarioError, SystemKind,
 };
 pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
-    balanced_fleet, fig10_scenario, fig8_scenario, fig9_scenario, l4_fleet, unbalanced_fleet,
-    workload_clients, Workload, REGIONS,
+    balanced_fleet, diurnal_reference_predictive, diurnal_reference_reactive,
+    equal_cost_lite_fleet, fig10_diurnal_scenario, fig10_scenario, fig8_scenario, fig9_scenario,
+    l4_fleet, lite_fleet, trio_diurnal_profiles, unbalanced_fleet, workload_clients, Workload,
+    L4_LITE, REGIONS,
 };
-pub use sources::{FlashCrowdSource, RagCorpusConfig, RagCorpusSource};
+pub use skywalker_fleet::{
+    AutoscalerConfig, ChaosConfig, ChaosPlan, FleetCommand, FleetEvent, FleetObservation,
+    FleetPlan, MergePlan, ScheduledPlan, ThresholdAutoscaler,
+};
+pub use sources::{DiurnalSource, FlashCrowdSource, RagCorpusConfig, RagCorpusSource};
 pub use workload::{
     ArrivalSchedule, ClientEvent, ClientListSource, ConversationSource, MergeSource, TotSource,
     TrafficSource,
@@ -99,6 +115,7 @@ pub use workload::{
 // depend on `skywalker` alone.
 pub use skywalker_core as core;
 pub use skywalker_cost as cost;
+pub use skywalker_fleet as fleet;
 pub use skywalker_metrics as metrics;
 pub use skywalker_net as net;
 pub use skywalker_replica as replica;

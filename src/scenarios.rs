@@ -15,13 +15,19 @@
 //!   heterogeneous-program stressor.
 
 use skywalker_net::Region;
-use skywalker_replica::GpuProfile;
+use skywalker_replica::{GpuProfile, KvConfig};
+use skywalker_sim::SimDuration;
 use skywalker_workload::{
-    drain, generate_conversation_clients, generate_tot_clients, ClientSpec, ConversationConfig,
-    ConversationSource, IdGen, MergeSource, TotConfig, TotSource, TrafficSource,
+    drain, fig3_regions, generate_conversation_clients, generate_tot_clients, ClientSpec,
+    ConversationConfig, ConversationSource, DiurnalProfile, IdGen, MergeSource, TotConfig,
+    TotSource, TrafficSource,
 };
 
+use skywalker_fleet::AutoscalerConfig;
+
+use crate::autoscale::PredictiveConfig;
 use crate::fabric::{ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
+use crate::sources::DiurnalSource;
 
 /// The paper's three serving regions.
 pub const REGIONS: [Region; 3] = Region::PAPER_TRIO;
@@ -237,6 +243,131 @@ pub fn fig10_scenario(system: SystemKind, total_replicas: u32, scale: f64, seed:
         .clients(clients)
         .build()
         .expect("fig10 presets set a fleet and clients")
+}
+
+/// A deliberately small replica for compressed diurnal days: L4 timing
+/// with ~1/8 of the batch ceiling and KV capacity, so a `scale`-thinned
+/// day saturates replicas the way the full-scale day saturates real
+/// L4s. Without this, thinning the traffic to test volume would leave
+/// every replica idle and nothing for an autoscaler to react to.
+pub const L4_LITE: GpuProfile = GpuProfile {
+    name: "L4-lite/llama-3.1-8b",
+    prefill_base_us: 20_000,
+    prefill_per_token_us: 547.0,
+    decode_base_us: 28_000,
+    decode_per_request_us: 450.0,
+    kv: KvConfig {
+        capacity_tokens: 6_144,
+        block_tokens: 16,
+    },
+    max_batch_size: 6,
+};
+
+/// An [`L4_LITE`] fleet with the given per-region replica counts.
+pub fn lite_fleet(counts: &[(Region, u32)]) -> Vec<ReplicaPlacement> {
+    counts
+        .iter()
+        .flat_map(|&(region, n)| {
+            (0..n).map(move |_| ReplicaPlacement {
+                region,
+                profile: L4_LITE,
+            })
+        })
+        .collect()
+}
+
+/// The diurnal rate curves of the paper's three macrobenchmark regions
+/// (Fig. 3a curves restricted to the [`REGIONS`] trio).
+pub fn trio_diurnal_profiles() -> Vec<(Region, DiurnalProfile)> {
+    fig3_regions()
+        .into_iter()
+        .filter(|(r, _)| REGIONS.contains(r))
+        .collect()
+}
+
+/// The Fig. 10 experiment's *diurnal* form: a full (compressed) day of
+/// per-region demand following the Fig. 3a curves, over an evenly
+/// distributed starting fleet of `per_region` [`L4_LITE`] replicas per
+/// region (lite hardware matches the thinned traffic — see [`L4_LITE`]).
+///
+/// This is the scenario where fleet elasticity shows: run it as-is for
+/// the static baseline, or attach a fleet plan
+/// (`ScenarioBuilder::fleet_plan` via [`Scenario`]'s builder — e.g. a
+/// `ThresholdAutoscaler` or [`crate::PredictiveAutoscaler`]) to let
+/// capacity track the day. `day` compresses 24 h of the curves into sim
+/// time; `scale` keeps that fraction of the trace's arrivals.
+pub fn fig10_diurnal_scenario(
+    system: SystemKind,
+    per_region: u32,
+    day: SimDuration,
+    scale: f64,
+    seed: u64,
+) -> Scenario {
+    let fleet = lite_fleet(&[
+        (REGIONS[0], per_region),
+        (REGIONS[1], per_region),
+        (REGIONS[2], per_region),
+    ]);
+    let source = DiurnalSource::new(
+        &trio_diurnal_profiles(),
+        day,
+        scale,
+        &DiurnalSource::light_chat(),
+        seed,
+    );
+    system
+        .builder()
+        .replicas(fleet)
+        .traffic_source(Box::new(source))
+        .label(format!("{} (diurnal)", system.label()))
+        .build()
+        .expect("fig10 diurnal presets set a fleet and traffic")
+}
+
+/// The equal-cost static counterpart of an elastic run: a lite fleet
+/// whose size matches the elastic run's time-weighted mean replica
+/// count (`RunSummary::fleet.mean_total()`), rounded and split across
+/// the trio with remainders going west-to-east — the same
+/// replica-seconds, spent statically. Shared by the example, the e2e
+/// test, and the bench so all three measure the same baseline.
+pub fn equal_cost_lite_fleet(mean_total: f64) -> Vec<ReplicaPlacement> {
+    let total = (mean_total.round() as u32).max(3);
+    let (per, rem) = (total / 3, total % 3);
+    lite_fleet(&[
+        (REGIONS[0], per + u32::from(rem > 0)),
+        (REGIONS[1], per + u32::from(rem > 1)),
+        (REGIONS[2], per),
+    ])
+}
+
+/// The reactive reference tunables of the compressed diurnal day —
+/// the calibration table in `docs/fleet.md` §5, in code, so the
+/// example, e2e test, and bench cannot silently diverge.
+pub fn diurnal_reference_reactive() -> AutoscalerConfig {
+    AutoscalerConfig {
+        min_per_region: 1,
+        max_per_region: 6,
+        scale_out_load: 3.0,
+        scale_in_load: 1.5,
+        cooldown: SimDuration::from_secs(60),
+        provision_delay: SimDuration::from_secs(20),
+        profile: L4_LITE,
+    }
+}
+
+/// The predictive reference tunables of the compressed diurnal day
+/// (`docs/fleet.md` §5); `day`/`scale` must match the traffic source.
+pub fn diurnal_reference_predictive(day: SimDuration, scale: f64) -> PredictiveConfig {
+    PredictiveConfig {
+        day,
+        scale,
+        per_replica_rph: 12.0,
+        lead: SimDuration::from_secs(60),
+        provision_delay: SimDuration::from_secs(20),
+        min_per_region: 1,
+        max_per_region: 6,
+        profile: L4_LITE,
+    }
 }
 
 #[cfg(test)]

@@ -22,8 +22,9 @@ use skywalker_net::Region;
 use skywalker_replica::{output_token, Request};
 use skywalker_sim::{DetRng, SimDuration, SimTime, Zipf};
 use skywalker_workload::{
-    distinct_regions, region_of_slot, total_slots, ArrivalSchedule, ArrivalWalk, ClientEvent,
-    ClientSpec, IdGen, LengthModel, Program, TrafficSource,
+    distinct_regions, generate_conversation_user, region_of_slot, total_slots, ArrivalSchedule,
+    ArrivalWalk, ClientEvent, ClientSpec, ConversationConfig, DiurnalProfile, IdGen, LengthModel,
+    Program, TrafficSource,
 };
 
 /// Deterministic token stream for synthetic document/topic text.
@@ -380,10 +381,231 @@ impl TrafficSource for FlashCrowdSource {
     }
 }
 
+/// A compressed diurnal day of chat traffic: per-region arrival *rates*
+/// follow the paper's Fig. 2/3a raised-cosine curves
+/// ([`DiurnalProfile`]), mapped onto a simulated `day` much shorter
+/// than 24 h so a whole cycle fits in one run. Each arrival is a light
+/// chat user generated by the conversation machinery.
+///
+/// This is the traffic side of the Fig. 10 elasticity experiment:
+/// per-region demand swings 2.88–32.64× over the day, which a static
+/// fleet must provision for peak and an elastic fleet (see
+/// `skywalker-fleet`) can track. Implements [`TrafficSource`] from
+/// outside the workload crate.
+///
+/// Arrival instants are fixed at construction from the source's own
+/// seed (8 bytes per arrival); client *content* is generated lazily at
+/// each arrival's emission through the workload crate's per-user
+/// generator, so memory tracks the active population — the streaming
+/// property every built-in source keeps — and emission is poll-cadence
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct DiurnalSource {
+    cfg: ConversationConfig,
+    lanes: Vec<DiurnalLane>,
+    global_zipf: Zipf,
+    regional_zipf: Option<Zipf>,
+    label: String,
+}
+
+/// One region's slice of the day: its kept arrival instants plus the
+/// lazy-generation cursors. Each lane owns a disjoint request-id and
+/// user-id range, so lanes generate independently of interleaving.
+#[derive(Debug, Clone)]
+struct DiurnalLane {
+    region: Region,
+    /// Kept arrival instants, sorted.
+    times: Vec<SimTime>,
+    cursor: usize,
+    ids: IdGen,
+    user_base: u64,
+    content_seed: u64,
+}
+
+impl DiurnalSource {
+    /// A day of traffic over `profiles` (per-region rate curves at
+    /// trace scale, requests per hour), compressed into `day` of sim
+    /// time, keeping a `scale` fraction of the trace's arrivals; each
+    /// kept arrival is one chat user built from `cfg`.
+    pub fn new(
+        profiles: &[(Region, DiurnalProfile)],
+        day: SimDuration,
+        scale: f64,
+        cfg: &ConversationConfig,
+        seed: u64,
+    ) -> Self {
+        let lanes = profiles
+            .iter()
+            .enumerate()
+            .map(|(slot, (region, profile))| {
+                let mut rng = DetRng::for_component(seed ^ slot as u64, "sources/diurnal");
+                let times: Vec<SimTime> = profile
+                    .sample_arrivals(&mut rng)
+                    .into_iter()
+                    .filter(|_| rng.chance(scale))
+                    .map(|t_real| SimTime::ZERO + day.mul_f64(t_real / 86_400.0))
+                    .collect();
+                DiurnalLane {
+                    region: *region,
+                    times,
+                    cursor: 0,
+                    // Disjoint id spaces per lane: ids only need to be
+                    // unique, not dense, so a wide stride suffices for
+                    // any realistic day.
+                    ids: IdGen::starting_at((slot as u64) << 40),
+                    user_base: (slot as u64) << 32,
+                    content_seed: seed ^ mix(&[slot as u64, 0xD1A1]),
+                }
+            })
+            .collect();
+        let global_zipf = Zipf::new(cfg.global_templates.max(1), cfg.template_zipf);
+        let regional_zipf = (cfg.regional_templates > 0)
+            .then(|| Zipf::new(cfg.regional_templates, cfg.template_zipf));
+        DiurnalSource {
+            cfg: cfg.clone(),
+            lanes,
+            global_zipf,
+            regional_zipf,
+            label: "Diurnal day".to_string(),
+        }
+    }
+
+    /// A light per-user chat mix (one short conversation per user), the
+    /// natural content for an open-loop diurnal feed.
+    pub fn light_chat() -> ConversationConfig {
+        ConversationConfig {
+            conversations_per_user: (1, 2),
+            turns_per_conversation: (2, 3),
+            activity_sigma: 0.4,
+            ..ConversationConfig::wildchat()
+        }
+    }
+
+    /// Total arrivals over the whole day.
+    pub fn total_clients(&self) -> usize {
+        self.lanes.iter().map(|l| l.times.len()).sum()
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl TrafficSource for DiurnalSource {
+    fn regions(&self) -> Vec<Region> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            if !out.contains(&lane.region) {
+                out.push(lane.region);
+            }
+        }
+        out
+    }
+
+    fn next_batch(&mut self, now: SimTime, _rng: &mut DetRng) -> Vec<ClientEvent> {
+        let mut out = Vec::new();
+        for lane in &mut self.lanes {
+            while let Some(&at) = lane.times.get(lane.cursor) {
+                if at > now {
+                    break;
+                }
+                let user_id = lane.user_base + lane.cursor as u64;
+                lane.cursor += 1;
+                let spec = generate_conversation_user(
+                    &self.cfg,
+                    lane.region,
+                    user_id,
+                    lane.content_seed,
+                    &mut lane.ids,
+                    &self.global_zipf,
+                    self.regional_zipf.as_ref(),
+                );
+                out.push(ClientEvent { at, spec });
+            }
+        }
+        // Stable sort: same-instant arrivals keep lane order.
+        out.sort_by_key(|e| e.at);
+        out
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.lanes.iter().all(|l| l.cursor >= l.times.len())
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skywalker_workload::drain;
+    use skywalker_workload::{drain, fig3_regions};
+
+    #[test]
+    fn diurnal_source_follows_the_rate_curve() {
+        let day = SimDuration::from_secs(1_200);
+        let profiles: Vec<_> = fig3_regions()
+            .into_iter()
+            .filter(|(r, _)| *r == Region::UsEast)
+            .collect();
+        let src = DiurnalSource::new(&profiles, day, 0.05, &DiurnalSource::light_chat(), 7);
+        assert_eq!(src.regions(), vec![Region::UsEast]);
+        let total = src.total_clients();
+        assert!(total > 50, "enough arrivals to see the shape: {total}");
+        // us-east-1 peaks at 14:00 local = 19:00 UTC and troughs in the
+        // local early morning: compare the busiest and quietest sixths
+        // of the compressed day.
+        let mut per_sixth = [0usize; 6];
+        let mut probe = src.clone();
+        let mut rng = DetRng::new(0);
+        for (k, sixth) in per_sixth.iter_mut().enumerate() {
+            let until = SimTime::ZERO + day.mul_f64((k as f64 + 1.0) / 6.0);
+            // Batches are incremental: each poll returns only the new
+            // arrivals of that sixth.
+            *sixth = probe.next_batch(until, &mut rng).len();
+        }
+        let max = per_sixth.iter().max().unwrap();
+        let min = per_sixth.iter().min().unwrap();
+        assert!(
+            *max >= 2 * (*min).max(1),
+            "diurnal swing must be visible: {per_sixth:?}"
+        );
+        assert!(probe.is_exhausted());
+    }
+
+    #[test]
+    fn diurnal_source_is_poll_cadence_invariant() {
+        let day = SimDuration::from_secs(600);
+        let profiles = fig3_regions();
+        let mk = || DiurnalSource::new(&profiles, day, 0.01, &DiurnalSource::light_chat(), 3);
+        let mut coarse = mk();
+        let mut fine = mk();
+        let mut rng = DetRng::new(0);
+        let mut a = Vec::new();
+        for s in [0u64, 300, 600] {
+            a.extend(coarse.next_batch(SimTime::from_secs(s), &mut rng));
+        }
+        let mut b = Vec::new();
+        for s in (0..=600u64).step_by(20) {
+            b.extend(fine.next_batch(SimTime::from_secs(s), &mut rng));
+        }
+        assert_eq!(a, b, "batching granularity must not change the stream");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // Ids are globally unique across regions.
+        let mut ids: Vec<u64> = a
+            .iter()
+            .flat_map(|e| e.spec.programs.iter())
+            .flat_map(|p| p.requests())
+            .map(|r| r.id.0)
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
 
     #[test]
     fn rag_prompts_share_hot_document_prefixes_across_users() {

@@ -1,18 +1,36 @@
 //! Failure-recovery drills across the whole stack (§4.2): a balancer
 //! crash mid-run must not lose requests, and recovery must hand replicas
 //! back.
+//!
+//! The drills drive the open fleet surface — a [`ScheduledPlan`] of
+//! [`FleetEvent::LbDown`]/[`FleetEvent::LbUp`] commands — and a parity
+//! test pins the legacy `faults` adapter byte-identical to the
+//! equivalent explicit plan.
 
 use skywalker::sim::SimTime;
 use skywalker::{
-    balanced_fleet, run_scenario, workload_clients, FabricConfig, FaultEvent, Scenario, SystemKind,
-    Workload,
+    balanced_fleet, run_scenario, workload_clients, FabricConfig, FaultEvent, FleetCommand,
+    FleetEvent, Scenario, ScheduledPlan, SystemKind, Workload,
 };
 
-fn drill(faults: Vec<FaultEvent>, seed: u64) -> (u64, u64, u64, usize) {
+fn lb_down(at_secs: u64, lb: u32) -> FleetCommand {
+    FleetCommand::new(SimTime::from_secs(at_secs), FleetEvent::LbDown { lb })
+}
+
+fn lb_up(at_secs: u64, lb: u32) -> FleetCommand {
+    FleetCommand::new(SimTime::from_secs(at_secs), FleetEvent::LbUp { lb })
+}
+
+fn drill(commands: Vec<FleetCommand>, seed: u64) -> (u64, u64, u64, usize) {
     let clients = workload_clients(Workload::WildChat, 0.1, seed);
     let expected: usize = clients.iter().map(|c| c.total_requests()).sum();
-    let mut scenario = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
-    scenario.faults = faults;
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients)
+        .fleet_plan(Box::new(ScheduledPlan::new(commands)))
+        .build()
+        .expect("fleet and clients are both set");
     let s = run_scenario(&scenario, &FabricConfig::default());
     (
         s.report.completed,
@@ -24,21 +42,7 @@ fn drill(faults: Vec<FaultEvent>, seed: u64) -> (u64, u64, u64, usize) {
 
 #[test]
 fn crash_and_recovery_preserves_every_request() {
-    let (completed, failed, in_flight, expected) = drill(
-        vec![
-            FaultEvent {
-                at: SimTime::from_secs(10),
-                lb_index: 1,
-                down: true,
-            },
-            FaultEvent {
-                at: SimTime::from_secs(40),
-                lb_index: 1,
-                down: false,
-            },
-        ],
-        21,
-    );
+    let (completed, failed, in_flight, expected) = drill(vec![lb_down(10, 1), lb_up(40, 1)], 21);
     assert_eq!(
         (completed + failed + in_flight) as usize,
         expected,
@@ -55,14 +59,7 @@ fn crash_and_recovery_preserves_every_request() {
 fn permanent_crash_still_drains_via_rehoming() {
     // The balancer never comes back; its replicas are re-homed to the
     // nearest surviving balancer, which serves them as temporarily local.
-    let (completed, failed, in_flight, expected) = drill(
-        vec![FaultEvent {
-            at: SimTime::from_secs(10),
-            lb_index: 2,
-            down: true,
-        }],
-        23,
-    );
+    let (completed, failed, in_flight, expected) = drill(vec![lb_down(10, 2)], 23);
     assert_eq!((completed + failed + in_flight) as usize, expected);
     assert_eq!(in_flight, 0);
     assert!(completed as usize >= expected * 9 / 10);
@@ -71,28 +68,7 @@ fn permanent_crash_still_drains_via_rehoming() {
 #[test]
 fn double_crash_tolerated() {
     let (completed, _failed, in_flight, expected) = drill(
-        vec![
-            FaultEvent {
-                at: SimTime::from_secs(8),
-                lb_index: 0,
-                down: true,
-            },
-            FaultEvent {
-                at: SimTime::from_secs(12),
-                lb_index: 1,
-                down: true,
-            },
-            FaultEvent {
-                at: SimTime::from_secs(50),
-                lb_index: 0,
-                down: false,
-            },
-            FaultEvent {
-                at: SimTime::from_secs(55),
-                lb_index: 1,
-                down: false,
-            },
-        ],
+        vec![lb_down(8, 0), lb_down(12, 1), lb_up(50, 0), lb_up(55, 1)],
         27,
     );
     assert_eq!(in_flight, 0);
@@ -109,6 +85,8 @@ fn faulted_run_matches_healthy_totals() {
         &Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients.clone()),
         &FabricConfig::default(),
     );
+    // Direct mutation of `Scenario::faults` must keep working: the run
+    // converts it into a ScheduledPlan internally.
     let mut faulted_scenario = Scenario::new(SystemKind::SkyWalker, balanced_fleet(), clients);
     faulted_scenario.faults = vec![
         FaultEvent {
@@ -134,5 +112,67 @@ fn faulted_run_matches_healthy_totals() {
         "faulted max {:.2}s vs healthy p50 {:.2}s",
         faulted.report.e2e.max,
         healthy.report.e2e.p50
+    );
+    // The balancer flap retried at least one request, and that shows up
+    // in the report.
+    assert!(faulted.report.retried >= 1);
+    assert_eq!(healthy.report.retried, 0);
+}
+
+/// The legacy `faults` schedule and the equivalent explicit
+/// [`ScheduledPlan`] must produce *byte-identical* runs — same events,
+/// same RNG draws, same summary, down to every float.
+#[test]
+fn faults_adapter_parity_with_scheduled_plan_is_byte_identical() {
+    let cfg = FabricConfig::default();
+    let clients = workload_clients(Workload::WildChat, 0.08, 33);
+    let faults = vec![
+        FaultEvent {
+            at: SimTime::from_secs(12),
+            lb_index: 1,
+            down: true,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(42),
+            lb_index: 1,
+            down: false,
+        },
+    ];
+
+    let via_adapter = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients.clone())
+        .faults(faults.clone())
+        .build()
+        .expect("valid scenario");
+
+    let commands: Vec<FleetCommand> = faults
+        .iter()
+        .map(|f| {
+            FleetCommand::new(
+                f.at,
+                if f.down {
+                    FleetEvent::LbDown { lb: f.lb_index }
+                } else {
+                    FleetEvent::LbUp { lb: f.lb_index }
+                },
+            )
+        })
+        .collect();
+    let via_plan = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients)
+        .fleet_plan(Box::new(ScheduledPlan::new(commands).with_label("faults")))
+        .build()
+        .expect("valid scenario");
+
+    let a = run_scenario(&via_adapter, &cfg);
+    let b = run_scenario(&via_plan, &cfg);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "adapter and explicit plan must be the same run, byte for byte"
     );
 }

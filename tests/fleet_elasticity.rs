@@ -1,0 +1,270 @@
+//! End-to-end exercises of the elastic fleet control plane: scripted
+//! join/drain lifecycles, chaos churn with full request accounting, and
+//! the headline elasticity result — a reactive autoscaler tracking the
+//! Fig. 10 diurnal day beats the equal-cost static fleet on P90 TTFT.
+
+use skywalker::replica::{GpuProfile, ReplicaId};
+use skywalker::sim::{SimDuration, SimTime};
+use skywalker::{
+    balanced_fleet, diurnal_reference_predictive, diurnal_reference_reactive,
+    equal_cost_lite_fleet, fig10_diurnal_scenario, l4_fleet, run_scenario, trio_diurnal_profiles,
+    workload_clients, AutoscalerConfig, ChaosConfig, ChaosPlan, FabricConfig, FaultEvent,
+    FleetCommand, FleetEvent, PredictiveAutoscaler, RunSummary, ScheduledPlan, SystemKind,
+    ThresholdAutoscaler, Workload, REGIONS,
+};
+
+fn expected_requests(scale: f64, seed: u64) -> usize {
+    workload_clients(Workload::WildChat, scale, seed)
+        .iter()
+        .map(|c| c.total_requests())
+        .sum()
+}
+
+fn accounted(s: &RunSummary) -> u64 {
+    s.report.completed + s.report.failed + s.report.in_flight
+}
+
+#[test]
+fn scheduled_join_and_drain_lifecycle() {
+    let seed = 41;
+    let clients = workload_clients(Workload::WildChat, 0.1, seed);
+    let expected: usize = clients.iter().map(|c| c.total_requests()).sum();
+    let plan = ScheduledPlan::new(vec![
+        FleetCommand::new(
+            SimTime::from_secs(5),
+            FleetEvent::ReplicaJoin {
+                region: REGIONS[1],
+                profile: GpuProfile::L4_LLAMA_8B,
+            },
+        ),
+        FleetCommand::new(
+            SimTime::from_secs(20),
+            FleetEvent::ReplicaDrain {
+                replica: ReplicaId(0),
+            },
+        ),
+    ]);
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients)
+        .fleet_plan(Box::new(plan))
+        .build()
+        .expect("valid scenario");
+    let s = run_scenario(&scenario, &FabricConfig::default());
+
+    assert_eq!(accounted(&s) as usize, expected, "no request may vanish");
+    assert_eq!(s.report.in_flight, 0, "run must drain");
+    assert_eq!((s.fleet.joins, s.fleet.drains, s.fleet.crashes), (1, 1, 0));
+    assert!(s.fleet.is_elastic());
+    // 12 replicas to start, one joined, one drained.
+    assert_eq!(s.fleet.final_replicas, 12);
+    // The join shows in EU's trace (4 → 5) and the drain (of a US
+    // replica, id 0) in US's trace (4 → 3).
+    let eu = s.fleet.series(REGIONS[1]).expect("EU trace");
+    assert_eq!(eu.peak(), 5.0);
+    let us = s.fleet.series(REGIONS[0]).expect("US trace");
+    assert_eq!(us.points().last().unwrap().1, 3.0);
+    // The joined replica (id 12) materialized as a first-class member:
+    // it has stats and a probed KV trace. (Whether it *serves* under a
+    // light closed-loop load is the affinity policy's call — a fresh
+    // empty cache attracts work only when the warmed replicas fill up.)
+    assert_eq!(s.replica_stats.len(), 13);
+    assert!(!s.kv_series[12].is_empty(), "joined replica must be probed");
+}
+
+#[test]
+fn crash_reroutes_once_then_fails() {
+    let seed = 43;
+    let clients = workload_clients(Workload::WildChat, 0.1, seed);
+    let expected: usize = clients.iter().map(|c| c.total_requests()).sum();
+    // Crash one replica mid-run; its in-flight work reroutes.
+    let plan = ScheduledPlan::new(vec![FleetCommand::new(
+        SimTime::from_secs(10),
+        FleetEvent::ReplicaCrash {
+            replica: ReplicaId(3),
+        },
+    )]);
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(clients)
+        .fleet_plan(Box::new(plan))
+        .build()
+        .expect("valid scenario");
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    assert_eq!(accounted(&s) as usize, expected);
+    assert_eq!(s.report.in_flight, 0);
+    assert_eq!(s.fleet.crashes, 1);
+    assert_eq!(s.fleet.final_replicas, 11);
+    // A single crash is fully absorbed: everything reroutes and
+    // completes (failures need the *same* request to die twice).
+    assert_eq!(s.report.completed as usize, expected);
+    assert!(
+        s.report.retried >= 1 || s.replica_stats[3].admitted == 0,
+        "in-flight work at the crash must have rerouted"
+    );
+}
+
+#[test]
+fn chaos_churn_accounts_every_request() {
+    let seed = 47;
+    let expected = expected_requests(0.1, seed);
+    let chaos = ChaosPlan::new(
+        ChaosConfig {
+            mtbf: SimDuration::from_secs(25),
+            mttr: SimDuration::from_secs(15),
+            min_live_per_region: 1,
+            ..ChaosConfig::default()
+        },
+        seed,
+    );
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(balanced_fleet())
+        .clients(workload_clients(Workload::WildChat, 0.1, seed))
+        .fleet_plan(Box::new(chaos))
+        .build()
+        .expect("valid scenario");
+    let s = run_scenario(&scenario, &FabricConfig::default());
+
+    // The acceptance bar: completed + failed + in-flight = issued.
+    assert_eq!(
+        accounted(&s) as usize,
+        expected,
+        "chaos must not lose or invent requests"
+    );
+    assert_eq!(s.report.in_flight, 0, "run must still drain under churn");
+    assert!(s.fleet.crashes > 0, "chaos must actually bite");
+    // Every casualty pairs with a replacement; only joins scheduled
+    // after the last client drained can miss the run.
+    assert!(
+        s.fleet.joins + 2 >= s.fleet.crashes && s.fleet.joins <= s.fleet.crashes,
+        "joins {} vs crashes {}",
+        s.fleet.joins,
+        s.fleet.crashes
+    );
+    assert!(
+        s.report.completed as usize >= expected * 8 / 10,
+        "churn with replacements keeps most requests alive ({}/{expected})",
+        s.report.completed
+    );
+}
+
+#[test]
+fn drill_and_autoscaler_compose() {
+    // The legacy fault schedule (balancer flap) and a reactive
+    // autoscaler run merged in one plan.
+    let seed = 51;
+    let expected = expected_requests(0.1, seed);
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(l4_fleet(&[
+            (REGIONS[0], 2),
+            (REGIONS[1], 2),
+            (REGIONS[2], 2),
+        ]))
+        .clients(workload_clients(Workload::WildChat, 0.1, seed))
+        .faults(vec![
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                lb_index: 1,
+                down: true,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(40),
+                lb_index: 1,
+                down: false,
+            },
+        ])
+        .fleet_plan(Box::new(ThresholdAutoscaler::new(AutoscalerConfig {
+            min_per_region: 1,
+            max_per_region: 4,
+            scale_out_load: 6.0,
+            scale_in_load: 0.5,
+            cooldown: SimDuration::from_secs(30),
+            provision_delay: SimDuration::from_secs(10),
+            ..AutoscalerConfig::default()
+        })))
+        .build()
+        .expect("valid scenario");
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    assert_eq!(accounted(&s) as usize, expected);
+    assert_eq!(s.report.in_flight, 0);
+}
+
+/// The headline elasticity result (acceptance criterion): over the
+/// Fig. 10 diurnal day, a threshold autoscaler visibly scales the fleet
+/// and beats the *equal-cost* static fleet (same time-weighted mean
+/// replica count) on P90 TTFT.
+#[test]
+fn threshold_autoscaler_beats_equal_cost_static_fleet_on_diurnal_day() {
+    let cfg = FabricConfig::default();
+    let day = SimDuration::from_secs(1_200);
+    let scale = 0.008;
+    let seed = 61;
+
+    let autoscaler = ThresholdAutoscaler::new(diurnal_reference_reactive());
+    let mut elastic_scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, 1, day, scale, seed);
+    elastic_scenario.fleet_plan = Some(Box::new(autoscaler));
+    let elastic = run_scenario(&elastic_scenario, &cfg);
+
+    // The fleet visibly scaled: the traces leave the starting size.
+    assert!(elastic.fleet.joins >= 2, "joins: {}", elastic.fleet.joins);
+    assert!(
+        elastic.fleet.drains >= 1,
+        "drains: {}",
+        elastic.fleet.drains
+    );
+    assert!(
+        elastic.fleet.peak_total() >= 5.0,
+        "peak fleet {} must clearly exceed the 3-replica floor",
+        elastic.fleet.peak_total()
+    );
+    assert_eq!(elastic.report.in_flight, 0);
+
+    // Equal-cost static baseline: the same mean replica-count, fixed.
+    let mean_total = elastic.fleet.mean_total();
+    let mut static_scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, 1, day, scale, seed);
+    static_scenario.replicas = equal_cost_lite_fleet(mean_total);
+    let fixed = run_scenario(&static_scenario, &cfg);
+    assert!(!fixed.fleet.is_elastic());
+
+    assert_eq!(
+        accounted(&elastic),
+        accounted(&fixed),
+        "both runs see the same day of traffic"
+    );
+    assert!(
+        elastic.report.ttft.p90 < fixed.report.ttft.p90,
+        "elastic P90 TTFT {:.2}s must beat the equal-cost static fleet's {:.2}s \
+         (elastic mean fleet {mean_total:.2}, static total {})",
+        elastic.report.ttft.p90,
+        fixed.report.ttft.p90,
+        fixed.fleet.final_replicas
+    );
+}
+
+/// The openness proof end to end: the diurnal-aware *predictive*
+/// autoscaler — implemented entirely outside `skywalker-fleet` — drives
+/// the same scenario and pre-provisions ahead of the ramp.
+#[test]
+fn predictive_autoscaler_scales_ahead_of_the_curve() {
+    let cfg = FabricConfig::default();
+    let day = SimDuration::from_secs(1_200);
+    let scale = 0.008;
+    let seed = 61;
+
+    let planner = PredictiveAutoscaler::new(
+        trio_diurnal_profiles(),
+        diurnal_reference_predictive(day, scale),
+    );
+    let mut scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, 1, day, scale, seed);
+    scenario.fleet_plan = Some(Box::new(planner));
+    let s = run_scenario(&scenario, &cfg);
+
+    assert!(s.fleet.joins >= 2, "predictive plan must scale out");
+    assert!(s.fleet.drains >= 1, "and back in after the peaks");
+    assert_eq!(s.report.in_flight, 0);
+    assert_eq!(s.report.failed, 0, "graceful drains never fail requests");
+}
