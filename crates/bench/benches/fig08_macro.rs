@@ -15,8 +15,12 @@
 //! and flash-crowd workloads, streamed through `ScenarioBuilder::
 //! traffic_source` from outside the workload crate.
 //!
-//! Every cell is also appended to `BENCH_fig08.json` in the working
-//! directory, so the performance trajectory is diffable across commits.
+//! The whole grid executes on `skywalker-lab`'s worker pool (one cell
+//! per system × workload crossing), so a multi-core machine runs the
+//! panels concurrently; the lab guarantees the numbers are identical to
+//! a serial run, and the rows keep the historical `BENCH_fig08.json`
+//! schema (`skywalker_bench::rows::fig8_row`) so the performance
+//! trajectory stays diffable across commits.
 //!
 //! Environment knobs: `SCALE` (client population multiplier, default
 //! 0.25 — the paper's counts at 1.0 take a few minutes per cell) and
@@ -25,11 +29,13 @@
 use skywalker::net::Region;
 use skywalker::sim::{SimDuration, SimTime};
 use skywalker::{
-    balanced_fleet, fig8_scenario, run_scenario, FabricConfig, FlashCrowdSource, P2cLocalFactory,
+    balanced_fleet, fig8_scenario, FabricConfig, FlashCrowdSource, P2cLocalFactory,
     RagCorpusConfig, RagCorpusSource, RunSummary, Scenario, SystemKind, Workload,
 };
-use skywalker_bench::json::{Report, Val};
+use skywalker_bench::json::Report;
+use skywalker_bench::rows::fig8_row;
 use skywalker_bench::{f, header, pct, ratio, row};
+use skywalker_lab::SweepSpec;
 
 fn record(rep: &mut Report, workload: &str, s: &RunSummary) {
     row(&[
@@ -43,20 +49,7 @@ fn record(rep: &mut Report, workload: &str, s: &RunSummary) {
         pct(s.replica_hit_rate),
         s.forwarded.to_string(),
     ]);
-    rep.row(&[
-        ("workload", Val::from(workload)),
-        ("system", Val::from(s.label.clone())),
-        ("tok_s", Val::from(s.report.throughput_tps)),
-        ("ttft_p50_s", Val::from(s.report.ttft.p50)),
-        ("ttft_p90_s", Val::from(s.report.ttft.p90)),
-        ("ttft_mean_s", Val::from(s.report.ttft.mean)),
-        ("e2e_p50_s", Val::from(s.report.e2e.p50)),
-        ("e2e_p90_s", Val::from(s.report.e2e.p90)),
-        ("hit_rate", Val::from(s.replica_hit_rate)),
-        ("forwarded", Val::from(s.forwarded)),
-        ("completed", Val::from(s.report.completed)),
-        ("end_time_s", Val::from(s.end_time.as_secs_f64())),
-    ]);
+    rep.row(&fig8_row(workload, s));
 }
 
 const COLUMNS: [&str; 9] = [
@@ -80,105 +73,162 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The actual worker count (the pool clamps to the cell count) is
+    // reported in the footer, from the executed result.
     println!("# Fig. 8 — Macrobenchmark (scale {scale}, seed {seed})\n");
 
     let mut rep = Report::new("fig08_macro");
     rep.meta("scale", scale);
     rep.meta("seed", seed);
 
-    let cfg = FabricConfig::default();
+    // The full grid as one sweep. Every recipe pins the legacy knobs
+    // (workload seed from SEED, default fabric seed) and ignores the
+    // lab-derived seed, so the JSON rows stay byte-identical to the
+    // serial pre-lab driver; the lab contributes parallel execution and
+    // stable grid ordering. Cell labels are "{section}/{system}", so
+    // the printed table section is recoverable from the label alone.
+    let mut spec = SweepSpec::new("fig08_macro", seed);
+
     for workload in Workload::ALL {
-        println!("## {}\n", workload.label());
-        header(&COLUMNS);
-        let mut skywalker_tps = 0.0;
-        let mut best_baseline_tps: f64 = 0.0;
         for system in SystemKind::FIG8 {
-            let scenario = fig8_scenario(system, workload, scale, seed);
-            let s = run_scenario(&scenario, &cfg);
-            record(&mut rep, workload.label(), &s);
-            if system == SystemKind::SkyWalker {
-                skywalker_tps = s.report.throughput_tps;
-            } else if s.report.throughput_tps > best_baseline_tps
-                && system != SystemKind::SkyWalkerCh
-            {
-                best_baseline_tps = s.report.throughput_tps;
-            }
+            spec = spec.cell(format!("{}/{}", workload.label(), system.label()), {
+                move |_| {
+                    (
+                        fig8_scenario(system, workload, scale, seed),
+                        FabricConfig::default(),
+                    )
+                }
+            });
         }
         // The routing openness demo: a custom policy, same deployment
         // shape and grid cell, plugged in through the builder — no
         // SystemKind.
-        let p2c = Scenario::builder()
-            .deployment(SystemKind::SkyWalker.deployment())
-            .policy_factory(P2cLocalFactory::new(seed))
-            .fig8_fleet(workload)
-            .workload(workload, scale, seed)
-            .build()
-            .expect("fleet and workload are set");
-        let s = run_scenario(&p2c, &cfg);
-        record(&mut rep, workload.label(), &s);
-        if best_baseline_tps > 0.0 {
-            println!(
-                "\nSkyWalker vs best baseline: {} (paper: 1.12–2.06x across workloads)\n",
-                ratio(skywalker_tps / best_baseline_tps)
-            );
-        }
+        spec = spec.cell(format!("{}/P2C-Local", workload.label()), {
+            move |_| {
+                let p2c = Scenario::builder()
+                    .deployment(SystemKind::SkyWalker.deployment())
+                    .policy_factory(P2cLocalFactory::new(seed))
+                    .fig8_fleet(workload)
+                    .workload(workload, scale, seed)
+                    .build()
+                    .expect("fleet and workload are set");
+                (p2c, FabricConfig::default())
+            }
+        });
     }
 
     // The traffic openness demos: two workloads the paper never shipped,
     // implemented outside skywalker-workload and streamed through the
-    // same builder and grid harness.
-    println!("## RAG shared corpus (custom TrafficSource)\n");
-    header(&COLUMNS);
-    // Base counts are scale-1.0 populations, scaled exactly like the
-    // paper grid above so SCALE means one thing bench-wide.
-    let n = |base: f64| ((base * scale).round() as u32).max(1);
-    let rag_users = vec![
-        (Region::UsEast, n(80.0)),
-        (Region::EuWest, n(64.0)),
-        (Region::ApNortheast, n(64.0)),
-    ];
+    // same builder and grid harness. Base counts are scale-1.0
+    // populations, scaled exactly like the paper grid above so SCALE
+    // means one thing bench-wide.
+    let n = move |base: f64| ((base * scale).round() as u32).max(1);
     for system in [
         SystemKind::RoundRobin,
         SystemKind::SglRouter,
         SystemKind::SkyWalker,
     ] {
-        let scenario = system
-            .builder()
-            .replicas(balanced_fleet())
-            .traffic_source(Box::new(RagCorpusSource::new(
-                RagCorpusConfig::default(),
-                rag_users.clone(),
-                seed,
-            )))
-            .build()
-            .expect("fleet and source are set");
-        let s = run_scenario(&scenario, &cfg);
-        record(&mut rep, "RAG corpus", &s);
+        spec = spec.cell(format!("RAG corpus/{}", system.label()), {
+            move |_| {
+                let rag_users = vec![
+                    (Region::UsEast, n(80.0)),
+                    (Region::EuWest, n(64.0)),
+                    (Region::ApNortheast, n(64.0)),
+                ];
+                let scenario = system
+                    .builder()
+                    .replicas(balanced_fleet())
+                    .traffic_source(Box::new(RagCorpusSource::new(
+                        RagCorpusConfig::default(),
+                        rag_users,
+                        seed,
+                    )))
+                    .build()
+                    .expect("fleet and source are set");
+                (scenario, FabricConfig::default())
+            }
+        });
     }
-
-    println!("\n## Flash crowd in eu-west at t = 30s (custom TrafficSource)\n");
-    header(&COLUMNS);
     for system in [SystemKind::RegionLocal, SystemKind::SkyWalker] {
-        let scenario = system
-            .builder()
-            .replicas(balanced_fleet())
-            .traffic_source(Box::new(
-                FlashCrowdSource::new(
-                    vec![(Region::UsEast, n(8.0)), (Region::EuWest, n(8.0))],
-                    Region::EuWest,
-                    n(240.0),
-                    SimTime::from_secs(30),
-                    seed,
-                )
-                .with_turns((2, 3))
-                .with_burst_window(SimDuration::from_secs(10)),
-            ))
-            .build()
-            .expect("fleet and source are set");
-        let s = run_scenario(&scenario, &cfg);
-        record(&mut rep, "Flash crowd", &s);
+        spec = spec.cell(format!("Flash crowd/{}", system.label()), {
+            move |_| {
+                let scenario = system
+                    .builder()
+                    .replicas(balanced_fleet())
+                    .traffic_source(Box::new(
+                        FlashCrowdSource::new(
+                            vec![(Region::UsEast, n(8.0)), (Region::EuWest, n(8.0))],
+                            Region::EuWest,
+                            n(240.0),
+                            SimTime::from_secs(30),
+                            seed,
+                        )
+                        .with_turns((2, 3))
+                        .with_burst_window(SimDuration::from_secs(10)),
+                    ))
+                    .build()
+                    .expect("fleet and source are set");
+                (scenario, FabricConfig::default())
+            }
+        });
     }
 
+    let result = spec.run(workers);
+
+    // Results come back in grid order; print them section by section,
+    // recovering each cell's section from its "{section}/{system}"
+    // label (no parallel bookkeeping to drift out of sync).
+    let mut current_section = String::new();
+    let mut skywalker_tps = 0.0;
+    let mut best_baseline_tps: f64 = 0.0;
+    for cell in &result.cells {
+        let (section, _) = cell
+            .label
+            .split_once('/')
+            .expect("fig08 cell labels are \"{section}/{system}\"");
+        if section != current_section {
+            // Close the previous paper-grid section with its headline.
+            if best_baseline_tps > 0.0 {
+                println!(
+                    "\nSkyWalker vs best baseline: {} (paper: 1.12–2.06x across workloads)\n",
+                    ratio(skywalker_tps / best_baseline_tps)
+                );
+            }
+            current_section = section.to_string();
+            skywalker_tps = 0.0;
+            best_baseline_tps = 0.0;
+            match section {
+                "RAG corpus" => println!("## RAG shared corpus (custom TrafficSource)\n"),
+                "Flash crowd" => {
+                    println!("\n## Flash crowd in eu-west at t = 30s (custom TrafficSource)\n")
+                }
+                _ => println!("## {section}\n"),
+            }
+            header(&COLUMNS);
+        }
+        let s = &cell.runs[0].summary;
+        record(&mut rep, section, s);
+        if Workload::ALL.iter().any(|w| w.label() == section) {
+            // The paper-grid ratio tracks the seven FIG8 systems only
+            // (not the P2C demo row), exactly as the serial driver did.
+            if s.label == SystemKind::SkyWalker.label() {
+                skywalker_tps = s.report.throughput_tps;
+            } else if s.label != SystemKind::SkyWalkerCh.label()
+                && cell.label != format!("{section}/P2C-Local")
+                && s.report.throughput_tps > best_baseline_tps
+            {
+                best_baseline_tps = s.report.throughput_tps;
+            }
+        }
+    }
+
+    println!(
+        "\ngrid: {} cells in {:.1}s on {} workers",
+        result.total_runs(),
+        result.wall.as_secs_f64(),
+        result.workers
+    );
     if let Err(e) = rep.write("BENCH_fig08.json") {
         eprintln!("could not write BENCH_fig08.json: {e}");
     }

@@ -2,62 +2,74 @@
 //! seeded chaos churn vs reactive and predictive autoscaling, all on the
 //! same Fig. 2/3a demand curves. Emits `BENCH_fleet.json` so the
 //! elasticity trajectory stays diffable across commits.
+//!
+//! The four strategies execute concurrently on `skywalker-lab`'s worker
+//! pool; every recipe pins the legacy seeds, so the rows are
+//! byte-identical to the serial driver (schema:
+//! `skywalker_bench::rows::fleet_row`).
 
 use skywalker::sim::SimDuration;
 use skywalker::{
-    diurnal_reference_predictive, diurnal_reference_reactive, fig10_diurnal_scenario, run_scenario,
-    trio_diurnal_profiles, ChaosConfig, ChaosPlan, FabricConfig, FleetPlan, PredictiveAutoscaler,
-    RunSummary, SystemKind, ThresholdAutoscaler, L4_LITE,
+    diurnal_reference_predictive, diurnal_reference_reactive, fig10_diurnal_scenario, ChaosConfig,
+    ChaosPlan, FabricConfig, FleetPlan, PredictiveAutoscaler, SystemKind, ThresholdAutoscaler,
+    L4_LITE,
 };
+use skywalker_bench::rows::fleet_row;
 use skywalker_bench::{f, header, json, row};
+use skywalker_lab::SweepSpec;
 
 const DAY: SimDuration = SimDuration::from_secs(1_200);
 const SCALE: f64 = 0.008;
 const SEED: u64 = 61;
 
-fn run_with(plan: Option<Box<dyn FleetPlan>>, per_region: u32) -> RunSummary {
-    let mut scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, per_region, DAY, SCALE, SEED);
-    scenario.fleet_plan = plan;
-    run_scenario(&scenario, &FabricConfig::default())
+/// Builds one strategy's fleet plan (fresh per invocation, so the
+/// recipe closures stay pure and `Send + Sync`).
+fn plan_for(name: &str) -> Option<Box<dyn FleetPlan>> {
+    match name {
+        "static-3/region" => None,
+        "chaos" => Some(Box::new(ChaosPlan::new(
+            ChaosConfig {
+                mtbf: SimDuration::from_secs(120),
+                mttr: SimDuration::from_secs(45),
+                profile: L4_LITE,
+                min_live_per_region: 1,
+                ..ChaosConfig::default()
+            },
+            SEED,
+        ))),
+        "autoscaled(reactive)" => Some(Box::new(ThresholdAutoscaler::new(
+            diurnal_reference_reactive(),
+        ))),
+        "autoscaled(predictive)" => Some(Box::new(PredictiveAutoscaler::new(
+            skywalker::trio_diurnal_profiles(),
+            diurnal_reference_predictive(DAY, SCALE),
+        ))),
+        other => unreachable!("unknown strategy {other}"),
+    }
 }
 
-/// `(label, fleet plan, starting replicas per region)`.
-type Strategy = (&'static str, Option<Box<dyn FleetPlan>>, u32);
+/// `(label, starting replicas per region)`.
+const STRATEGIES: [(&str, u32); 4] = [
+    ("static-3/region", 3),
+    ("chaos", 3),
+    ("autoscaled(reactive)", 1),
+    ("autoscaled(predictive)", 1),
+];
 
 fn main() {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("# Fleet elasticity — static vs chaos vs autoscaled over the diurnal day\n");
-    let strategies: Vec<Strategy> = vec![
-        ("static-3/region", None, 3),
-        (
-            "chaos",
-            Some(Box::new(ChaosPlan::new(
-                ChaosConfig {
-                    mtbf: SimDuration::from_secs(120),
-                    mttr: SimDuration::from_secs(45),
-                    profile: L4_LITE,
-                    min_live_per_region: 1,
-                    ..ChaosConfig::default()
-                },
-                SEED,
-            ))),
-            3,
-        ),
-        (
-            "autoscaled(reactive)",
-            Some(Box::new(ThresholdAutoscaler::new(
-                diurnal_reference_reactive(),
-            ))),
-            1,
-        ),
-        (
-            "autoscaled(predictive)",
-            Some(Box::new(PredictiveAutoscaler::new(
-                trio_diurnal_profiles(),
-                diurnal_reference_predictive(DAY, SCALE),
-            ))),
-            1,
-        ),
-    ];
+
+    let mut spec = SweepSpec::new("fleet_elasticity", SEED);
+    for (name, per_region) in STRATEGIES {
+        spec = spec.cell(name, move |_| {
+            let mut scenario =
+                fig10_diurnal_scenario(SystemKind::SkyWalker, per_region, DAY, SCALE, SEED);
+            scenario.fleet_plan = plan_for(name);
+            (scenario, FabricConfig::default())
+        });
+    }
+    let result = spec.run(workers);
 
     let mut rep = json::Report::new("fleet_elasticity");
     rep.meta("day_secs", DAY.as_secs_f64());
@@ -77,10 +89,10 @@ fn main() {
         "drains",
         "crashes",
     ]);
-    for (name, plan, per_region) in strategies {
-        let s = run_with(plan, per_region);
+    for cell in &result.cells {
+        let s = &cell.runs[0].summary;
         row(&[
-            name.to_string(),
+            cell.label.clone(),
             s.report.completed.to_string(),
             s.report.failed.to_string(),
             s.report.retried.to_string(),
@@ -92,23 +104,7 @@ fn main() {
             s.fleet.drains.to_string(),
             s.fleet.crashes.to_string(),
         ]);
-        rep.row(&[
-            ("fleet", name.into()),
-            ("completed", s.report.completed.into()),
-            ("failed", s.report.failed.into()),
-            ("retried", s.report.retried.into()),
-            ("in_flight", s.report.in_flight.into()),
-            ("ttft_p50_s", s.report.ttft.p50.into()),
-            ("ttft_p90_s", s.report.ttft.p90.into()),
-            ("e2e_p90_s", s.report.e2e.p90.into()),
-            ("tok_s", s.report.throughput_tps.into()),
-            ("mean_fleet", s.fleet.mean_total().into()),
-            ("peak_fleet", s.fleet.peak_total().into()),
-            ("joins", s.fleet.joins.into()),
-            ("drains", s.fleet.drains.into()),
-            ("crashes", s.fleet.crashes.into()),
-            ("forwarded", s.forwarded.into()),
-        ]);
+        rep.row(&fleet_row(&cell.label, s));
     }
 
     rep.write("BENCH_fleet.json")

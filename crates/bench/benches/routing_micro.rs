@@ -5,8 +5,8 @@
 //! deployment pays.
 
 use skywalker::P2cLocalFactory;
-use skywalker_bench::json::{Report, Val};
-use skywalker_bench::micro::{bench as bench_raw, black_box};
+use skywalker_bench::json::Report;
+use skywalker_bench::micro::{bench_into, black_box};
 use skywalker_core::{
     hash_key, BalancerConfig, CacheAware, ConsistentHash, HashRing, LeastLoad, PolicyFactory,
     RouteTrie, RoutingPolicy, TargetState,
@@ -159,11 +159,11 @@ fn bench_kvcache(rep: &mut Report) {
     }
 }
 
-/// Times `f`, prints the usual line, and appends the mean to the
-/// machine-readable report.
+/// Times `f`, prints the usual line, and appends the standard micro row
+/// to the machine-readable report (`skywalker_bench::micro::bench_into`
+/// owns the row schema).
 fn bench<F: FnMut()>(rep: &mut Report, name: &str, f: F) {
-    let ns = bench_raw(name, f);
-    rep.row(&[("name", Val::from(name)), ("ns_per_iter", Val::from(ns))]);
+    bench_into(rep, name, f);
 }
 
 fn main() {

@@ -14,10 +14,20 @@
 //! cargo bench -p skywalker-bench --bench fig08_macro
 //! ```
 //!
-//! This library crate hosts the shared table-printing helpers and the
-//! micro-benchmark timing loop.
+//! This library crate hosts the shared table-printing helpers, the
+//! micro-benchmark timing loop, and the [`rows`] builders that turn a
+//! [`RunSummary`](skywalker::RunSummary) into the `BENCH_*.json` row
+//! schemas — one definition per schema, shared by every bench target
+//! and by `skywalker-lab` reports. The JSON serializer itself lives in
+//! `skywalker_metrics::json` and is re-exported here under its
+//! historical name.
 
 use std::time::{Duration, Instant};
+
+/// The zero-dependency `BENCH_*.json` serializer (hosted by
+/// `skywalker-metrics` so the sweep lab can share it without a
+/// dependency cycle; re-exported here under its historical path).
+pub use skywalker_metrics::json;
 
 /// Minimal micro-benchmark timing: warm up briefly, then run the closure
 /// until ~200 ms of samples accumulate and report the mean ns/iter. Not
@@ -25,6 +35,7 @@ use std::time::{Duration, Instant};
 /// runnable perf smoke without external dependencies.
 pub mod micro {
     use super::*;
+    use crate::json::{Report, Val};
 
     /// Opaque value barrier (re-exported so benches need no direct
     /// `std::hint` import).
@@ -56,176 +67,61 @@ pub mod micro {
         println!("{name}: {ns_per_iter:.1} ns/iter ({iters} iters)");
         ns_per_iter
     }
+
+    /// As [`fn@bench`], additionally appending the standard micro row
+    /// (`name`, `ns_per_iter`) to `rep`.
+    pub fn bench_into<F: FnMut()>(rep: &mut Report, name: &str, f: F) -> f64 {
+        let ns = bench(name, f);
+        rep.row(&[("name", Val::from(name)), ("ns_per_iter", Val::from(ns))]);
+        ns
+    }
 }
 
-/// Machine-readable benchmark reports: a flat list of rows written as a
-/// `BENCH_*.json` file next to the printed table, so the performance
-/// trajectory stays diffable across commits. Hand-rolled serialization —
-/// the workspace builds offline with zero external dependencies.
-pub mod json {
-    use std::fmt::Write as _;
-    use std::io;
-    use std::path::Path;
+/// The `BENCH_*.json` row schemas, built from a
+/// [`RunSummary`](skywalker::RunSummary) in one place so no bench
+/// target re-implements field lists (and so schema stays identical
+/// when a bench migrates onto `skywalker-lab`).
+pub mod rows {
+    use crate::json::Val;
+    use skywalker::RunSummary;
 
-    /// One JSON scalar.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Val {
-        /// A float (non-finite values serialize as `null`).
-        Num(f64),
-        /// An unsigned integer.
-        Int(u64),
-        /// A string.
-        Str(String),
+    /// One `BENCH_fig08.json` row: the macrobenchmark grid schema.
+    pub fn fig8_row(workload: &str, s: &RunSummary) -> Vec<(&'static str, Val)> {
+        vec![
+            ("workload", Val::from(workload)),
+            ("system", Val::from(s.label.clone())),
+            ("tok_s", Val::from(s.report.throughput_tps)),
+            ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+            ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+            ("ttft_mean_s", Val::from(s.report.ttft.mean)),
+            ("e2e_p50_s", Val::from(s.report.e2e.p50)),
+            ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+            ("hit_rate", Val::from(s.replica_hit_rate)),
+            ("forwarded", Val::from(s.forwarded)),
+            ("completed", Val::from(s.report.completed)),
+            ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+        ]
     }
 
-    impl From<f64> for Val {
-        fn from(v: f64) -> Self {
-            Val::Num(v)
-        }
-    }
-
-    impl From<u64> for Val {
-        fn from(v: u64) -> Self {
-            Val::Int(v)
-        }
-    }
-
-    impl From<usize> for Val {
-        fn from(v: usize) -> Self {
-            Val::Int(v as u64)
-        }
-    }
-
-    impl From<&str> for Val {
-        fn from(v: &str) -> Self {
-            Val::Str(v.to_string())
-        }
-    }
-
-    impl From<String> for Val {
-        fn from(v: String) -> Self {
-            Val::Str(v)
-        }
-    }
-
-    fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    fn render_val(v: &Val, out: &mut String) {
-        match v {
-            Val::Num(x) if x.is_finite() => {
-                let _ = write!(out, "{x}");
-            }
-            Val::Num(_) => out.push_str("null"),
-            Val::Int(x) => {
-                let _ = write!(out, "{x}");
-            }
-            Val::Str(s) => {
-                let _ = write!(out, "\"{}\"", escape(s));
-            }
-        }
-    }
-
-    fn render_obj(fields: &[(String, Val)], out: &mut String) {
-        out.push('{');
-        for (i, (k, v)) in fields.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "\"{}\": ", escape(k));
-            render_val(v, out);
-        }
-        out.push('}');
-    }
-
-    /// A benchmark report: metadata (scale, seed, …) plus one object per
-    /// table row.
-    #[derive(Debug, Clone, Default)]
-    pub struct Report {
-        bench: String,
-        meta: Vec<(String, Val)>,
-        rows: Vec<Vec<(String, Val)>>,
-    }
-
-    impl Report {
-        /// A report for the named bench target.
-        pub fn new(bench: impl Into<String>) -> Self {
-            Report {
-                bench: bench.into(),
-                meta: Vec::new(),
-                rows: Vec::new(),
-            }
-        }
-
-        /// Records one run-level parameter.
-        pub fn meta(&mut self, key: &str, val: impl Into<Val>) {
-            self.meta.push((key.to_string(), val.into()));
-        }
-
-        /// Appends one row.
-        pub fn row(&mut self, fields: &[(&str, Val)]) {
-            self.rows.push(
-                fields
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), v.clone()))
-                    .collect(),
-            );
-        }
-
-        /// Number of rows recorded so far.
-        pub fn len(&self) -> usize {
-            self.rows.len()
-        }
-
-        /// True before the first row.
-        pub fn is_empty(&self) -> bool {
-            self.rows.is_empty()
-        }
-
-        /// The serialized report.
-        pub fn render(&self) -> String {
-            let mut out = String::new();
-            out.push_str("{\n  \"bench\": ");
-            render_val(&Val::Str(self.bench.clone()), &mut out);
-            for (k, v) in &self.meta {
-                let _ = write!(out, ",\n  \"{}\": ", escape(k));
-                render_val(v, &mut out);
-            }
-            out.push_str(",\n  \"rows\": [\n");
-            for (i, row) in self.rows.iter().enumerate() {
-                out.push_str("    ");
-                render_obj(row, &mut out);
-                if i + 1 < self.rows.len() {
-                    out.push(',');
-                }
-                out.push('\n');
-            }
-            out.push_str("  ]\n}\n");
-            out
-        }
-
-        /// Writes the report to `path` and prints where it went.
-        pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
-            let path = path.as_ref();
-            std::fs::write(path, self.render())?;
-            println!("\nwrote {} ({} rows)", path.display(), self.rows.len());
-            Ok(())
-        }
+    /// One `BENCH_fleet.json` row: the fleet-elasticity schema.
+    pub fn fleet_row(fleet: &str, s: &RunSummary) -> Vec<(&'static str, Val)> {
+        vec![
+            ("fleet", Val::from(fleet)),
+            ("completed", Val::from(s.report.completed)),
+            ("failed", Val::from(s.report.failed)),
+            ("retried", Val::from(s.report.retried)),
+            ("in_flight", Val::from(s.report.in_flight)),
+            ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+            ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+            ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+            ("tok_s", Val::from(s.report.throughput_tps)),
+            ("mean_fleet", Val::from(s.fleet.mean_total())),
+            ("peak_fleet", Val::from(s.fleet.peak_total())),
+            ("joins", Val::from(s.fleet.joins)),
+            ("drains", Val::from(s.fleet.drains)),
+            ("crashes", Val::from(s.fleet.crashes)),
+            ("forwarded", Val::from(s.forwarded)),
+        ]
     }
 }
 
@@ -270,34 +166,66 @@ mod tests {
     }
 
     #[test]
-    fn json_report_renders_valid_structure() {
-        let mut rep = json::Report::new("fig_test");
-        rep.meta("scale", 0.25);
-        rep.meta("seed", 8u64);
-        rep.row(&[
-            ("system", "Sky\"Walker".into()),
-            ("tok_s", 1234.5.into()),
-            ("forwarded", 17u64.into()),
-            ("bad", f64::NAN.into()),
-        ]);
+    fn json_reexport_still_reachable() {
+        // The serializer moved to skywalker-metrics; the historical
+        // `skywalker_bench::json` path must keep compiling for every
+        // bench target and downstream script.
+        let mut rep = json::Report::new("reexport");
+        rep.row(&[("k", json::Val::from(1u64))]);
         assert_eq!(rep.len(), 1);
-        assert!(!rep.is_empty());
-        let s = rep.render();
-        assert!(s.contains("\"bench\": \"fig_test\""));
-        assert!(s.contains("\"scale\": 0.25"));
-        assert!(s.contains("\"system\": \"Sky\\\"Walker\""));
-        assert!(s.contains("\"forwarded\": 17"));
-        assert!(s.contains("\"bad\": null"));
-        // Balanced braces/brackets — a cheap well-formedness check.
-        assert_eq!(s.matches('{').count(), s.matches('}').count());
-        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 
     #[test]
-    fn json_escapes_control_characters() {
-        let mut rep = json::Report::new("esc");
-        rep.row(&[("s", "a\tb\nc\u{1}".into())]);
-        let s = rep.render();
-        assert!(s.contains("a\\tb\\nc\\u0001"));
+    fn row_schemas_are_stable() {
+        // The JSON row schemas are diffed across commits; field names
+        // and order are a contract. Guard them with a golden key list.
+        use skywalker::{balanced_fleet, Workload};
+        use skywalker::{run_scenario, FabricConfig, Scenario};
+        let scenario = Scenario::builder()
+            .replicas(balanced_fleet())
+            .workload(Workload::Tot, 0.02, 7)
+            .build()
+            .expect("fleet and workload are set");
+        let s = run_scenario(&scenario, &FabricConfig::default());
+
+        let keys: Vec<&str> = rows::fig8_row("w", &s).iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "workload",
+                "system",
+                "tok_s",
+                "ttft_p50_s",
+                "ttft_p90_s",
+                "ttft_mean_s",
+                "e2e_p50_s",
+                "e2e_p90_s",
+                "hit_rate",
+                "forwarded",
+                "completed",
+                "end_time_s"
+            ]
+        );
+        let keys: Vec<&str> = rows::fleet_row("f", &s).iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "fleet",
+                "completed",
+                "failed",
+                "retried",
+                "in_flight",
+                "ttft_p50_s",
+                "ttft_p90_s",
+                "e2e_p90_s",
+                "tok_s",
+                "mean_fleet",
+                "peak_fleet",
+                "joins",
+                "drains",
+                "crashes",
+                "forwarded"
+            ]
+        );
     }
 }

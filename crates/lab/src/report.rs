@@ -1,0 +1,164 @@
+//! Rendering a [`SweepResult`] for humans and machines.
+//!
+//! [`SweepReport`] holds both views of one executed sweep: a markdown
+//! comparison table (one line per cell, seed-to-seed envelopes inline)
+//! and a `BENCH_*.json`-style [`json::Report`] (one row per replicate
+//! plus one aggregate row per cell). Neither view includes wall-clock
+//! or worker count, so the serialized report is byte-identical however
+//! the sweep was parallelized — which is exactly what the
+//! thread-invariance tests pin.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use skywalker_metrics::json::{self, Val};
+use skywalker_metrics::Spread;
+
+use crate::exec::{CellResult, SweepResult};
+
+/// Both renderings of one executed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    markdown: String,
+    json: json::Report,
+}
+
+impl SweepReport {
+    /// The markdown comparison table.
+    pub fn markdown(&self) -> &str {
+        &self.markdown
+    }
+
+    /// The machine-readable report. Benches that need extra metadata
+    /// or a different row schema build their own [`json::Report`] from
+    /// [`SweepResult`](crate::SweepResult) instead (as `fig08_macro`
+    /// does).
+    pub fn json(&self) -> &json::Report {
+        &self.json
+    }
+
+    /// The serialized JSON document.
+    pub fn json_string(&self) -> String {
+        self.json.render()
+    }
+
+    /// Writes the JSON document to `path` and prints where it went.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.json.write(path)
+    }
+}
+
+/// `mean [min, max]` with `prec` decimals, collapsing to just the mean
+/// when there is a single replicate.
+fn spread_cell(s: &Spread, prec: usize) -> String {
+    if s.count <= 1 {
+        format!("{:.prec$}", s.mean)
+    } else {
+        format!("{:.prec$} [{:.prec$}, {:.prec$}]", s.mean, s.min, s.max)
+    }
+}
+
+fn spread_fields(key: &'static str, s: &Spread, out: &mut Vec<(String, Val)>) {
+    out.push((format!("{key}_mean"), Val::from(s.mean)));
+    out.push((format!("{key}_min"), Val::from(s.min)));
+    out.push((format!("{key}_max"), Val::from(s.max)));
+}
+
+impl SweepResult {
+    /// Renders the sweep into its markdown + JSON report.
+    pub fn report(&self) -> SweepReport {
+        SweepReport {
+            markdown: self.render_markdown(),
+            json: self.render_json(),
+        }
+    }
+
+    fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| cell | reps | tok/s | TTFT p50 (s) | TTFT p90 (s) | hit % | replica·s | cost $ |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for c in &self.cells {
+            let st = &c.stats;
+            let hit = Spread {
+                count: st.hit_rate.count,
+                mean: 100.0 * st.hit_rate.mean,
+                min: 100.0 * st.hit_rate.min,
+                max: 100.0 * st.hit_rate.max,
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                c.label,
+                st.replicates,
+                spread_cell(&st.throughput_tps, 0),
+                spread_cell(&st.ttft_p50, 3),
+                spread_cell(&st.ttft_p90, 3),
+                spread_cell(&hit, 1),
+                spread_cell(&st.replica_seconds, 0),
+                spread_cell(&st.cost_usd, 2),
+            );
+        }
+        out
+    }
+
+    fn render_json(&self) -> json::Report {
+        let mut rep = json::Report::new(self.label.clone());
+        rep.meta("sweep_seed", self.sweep_seed);
+        rep.meta("cells", self.cells.len());
+        rep.meta("replicates", self.cells.first().map_or(0, |c| c.runs.len()));
+        for c in &self.cells {
+            for r in &c.runs {
+                let s = &r.summary;
+                rep.row(&[
+                    ("row", Val::from("replicate")),
+                    ("cell", Val::from(c.label.clone())),
+                    ("replicate", Val::from(r.tag)),
+                    ("seed", Val::from(r.seed)),
+                    ("tok_s", Val::from(s.report.throughput_tps)),
+                    ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+                    ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+                    ("ttft_mean_s", Val::from(s.report.ttft.mean)),
+                    ("e2e_p50_s", Val::from(s.report.e2e.p50)),
+                    ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+                    ("hit_rate", Val::from(s.replica_hit_rate)),
+                    ("completed", Val::from(s.report.completed)),
+                    ("failed", Val::from(s.report.failed)),
+                    ("forwarded", Val::from(s.forwarded)),
+                    ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+                    (
+                        "replica_seconds",
+                        Val::from(crate::stats::replica_seconds(s)),
+                    ),
+                ]);
+            }
+            self.aggregate_row(c, &mut rep);
+        }
+        rep
+    }
+
+    fn aggregate_row(&self, c: &CellResult, rep: &mut json::Report) {
+        let st = &c.stats;
+        let mut fields: Vec<(String, Val)> = vec![
+            ("row".to_string(), Val::from("cell")),
+            ("cell".to_string(), Val::from(c.label.clone())),
+            ("replicates".to_string(), Val::from(st.replicates)),
+        ];
+        spread_fields("tok_s", &st.throughput_tps, &mut fields);
+        spread_fields("ttft_p50_s", &st.ttft_p50, &mut fields);
+        spread_fields("ttft_p90_s", &st.ttft_p90, &mut fields);
+        spread_fields("hit_rate", &st.hit_rate, &mut fields);
+        spread_fields("completed", &st.completed, &mut fields);
+        spread_fields("failed", &st.failed, &mut fields);
+        spread_fields("replica_seconds", &st.replica_seconds, &mut fields);
+        spread_fields("cost_usd", &st.cost_usd, &mut fields);
+        let borrowed: Vec<(&str, Val)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        rep.row(&borrowed);
+    }
+}

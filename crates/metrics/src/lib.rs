@@ -15,11 +15,19 @@
 //!   token, completion) aggregated into a [`RunReport`].
 //! - [`TimeSeries`]: timestamped gauge traces, e.g. KV-cache utilization
 //!   per replica over time, with peak-gap statistics.
+//! - [`Spread`]: mean/min/max aggregation of one metric across the
+//!   replicates of a sweep cell.
+//! - [`json`]: the zero-dependency `BENCH_*.json` report serializer
+//!   shared by the figure benches and the sweep lab.
+
+pub mod json;
 
 mod collector;
 mod histogram;
+mod spread;
 mod timeseries;
 
 pub use collector::{RequestOutcome, RequestTracker, RunReport};
 pub use histogram::{Histogram, Summary};
+pub use spread::Spread;
 pub use timeseries::{peak_gap, TimeSeries};

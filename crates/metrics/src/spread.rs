@@ -1,0 +1,113 @@
+//! Seed-to-seed aggregation of a scalar metric across replicates.
+//!
+//! A sweep runs every experiment cell under several seeds; what the
+//! comparison table needs per metric is the central value plus how far
+//! individual seeds strayed from it. [`Spread`] is that triple — mean
+//! with min/max whiskers — kept deliberately simpler than [`Summary`]
+//! (replicate counts are single digits, percentiles would be noise).
+//!
+//! [`Summary`]: crate::Summary
+
+/// Mean and min/max envelope of one metric across replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Spread {
+    /// The spread of an empty sample set: all fields zero.
+    pub const EMPTY: Spread = Spread {
+        count: 0,
+        mean: 0.0,
+        min: 0.0,
+        max: 0.0,
+    };
+
+    /// Aggregates a sample list. Non-finite samples are ignored; an
+    /// empty (or all-non-finite) list yields [`Spread::EMPTY`].
+    pub fn from_samples(samples: &[f64]) -> Spread {
+        let mut count = 0usize;
+        let (mut sum, mut min, mut max) = (0.0, f64::INFINITY, f64::NEG_INFINITY);
+        for &s in samples {
+            if !s.is_finite() {
+                continue;
+            }
+            count += 1;
+            sum += s;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        if count == 0 {
+            return Spread::EMPTY;
+        }
+        Spread {
+            count,
+            mean: sum / count as f64,
+            min,
+            max,
+        }
+    }
+
+    /// Max − min: the absolute seed-to-seed span.
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Span as a fraction of the mean (0 when the mean is 0) — the
+    /// quick "how seed-sensitive is this cell" number.
+    pub fn relative_span(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.span() / self.mean.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_mean_min_max() {
+        let s = Spread::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 6.0));
+        assert!((s.span() - 4.0).abs() < 1e-12);
+        assert!((s.relative_span() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_samples() {
+        assert_eq!(Spread::from_samples(&[]), Spread::EMPTY);
+        assert_eq!(
+            Spread::from_samples(&[f64::NAN, f64::INFINITY]),
+            Spread::EMPTY
+        );
+        let s = Spread::from_samples(&[f64::NAN, 3.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!((s.mean, s.min, s.max), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_span() {
+        let s = Spread::from_samples(&[7.5]);
+        assert_eq!(s.span(), 0.0);
+        assert_eq!(s.relative_span(), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_relative_span_is_zero() {
+        let s = Spread::from_samples(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.relative_span(), 0.0);
+    }
+}

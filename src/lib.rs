@@ -16,9 +16,15 @@
 //! | `skywalker-core` | the balancer: the open [`RoutingPolicy`](core::RoutingPolicy) trait and its four built-ins, selective pushing, trie, ring, controller |
 //! | `skywalker-fleet` | the elastic fleet control plane: the open [`FleetPlan`] trait, [`ScheduledPlan`], [`ChaosPlan`], [`ThresholdAutoscaler`] |
 //! | `skywalker-cost` | reserved/on-demand provisioning cost model |
-//! | `skywalker-metrics` | histograms, request tracking, time series |
+//! | `skywalker-metrics` | histograms, request tracking, time series, the `BENCH_*.json` serializer |
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
+//! | `skywalker-lab` | the parallel experiment lab: deterministic multi-threaded sweeps over scenario grids |
 //! | this crate | the [`fabric`] with [`ScenarioBuilder`], the preset [`scenarios`], and [`P2cLocal`] — a custom policy built on the open surface |
+//!
+//! `skywalker-lab` sits *above* this facade (it consumes [`Scenario`]
+//! and [`run_scenario`]), so it is not re-exported here — depend on it
+//! directly; [`fig8_recipe`] and [`diurnal_recipe`] below are shaped
+//! for its `SweepSpec::cell`.
 //!
 //! ## Quickstart
 //!
@@ -48,15 +54,34 @@
 //! ```
 //!
 //! The paper's seven systems remain available as presets — each is now a
-//! thin wrapper over the same builder:
+//! thin wrapper over the same builder. The system-comparison loop below
+//! is `examples/quickstart.rs` in miniature (run the real thing with
+//! `cargo run --release --example quickstart`), compiled here so the
+//! front-door code can never rot:
 //!
 //! ```
 //! use skywalker::{fig8_scenario, run_scenario, FabricConfig, SystemKind, Workload};
 //!
-//! let scenario = fig8_scenario(SystemKind::SkyWalker, Workload::Arena, 0.05, 7);
-//! let summary = run_scenario(&scenario, &FabricConfig::default());
-//! assert!(summary.report.completed > 0);
+//! for system in [SystemKind::RoundRobin, SystemKind::SglRouter, SystemKind::SkyWalker] {
+//!     let scenario = fig8_scenario(system, Workload::Arena, 0.02, 42);
+//!     let s = run_scenario(&scenario, &FabricConfig::default());
+//!     assert!(s.report.completed > 0);
+//!     println!(
+//!         "{:<14} {:>8.0} tok/s  TTFT p50 {:>6.2}s  hit {:>5.1}%  fwd {}",
+//!         system.label(),
+//!         s.report.throughput_tps,
+//!         s.report.ttft.p50,
+//!         100.0 * s.replica_hit_rate,
+//!         s.forwarded,
+//!     );
+//! }
 //! ```
+//!
+//! To run a whole *grid* of such cells — policy × workload × fleet ×
+//! seed — in parallel with bit-identical results at any thread count,
+//! hand [`fig8_recipe`] (or any closure building a [`Scenario`]) to
+//! `skywalker_lab::SweepSpec`; see `examples/sweep.rs` and
+//! `docs/architecture.md`.
 //!
 //! ## Extending
 //!
@@ -82,6 +107,11 @@
 //!   and [`ThresholdAutoscaler`] are the built-ins; recipe in
 //!   `docs/fleet.md`; [`PredictiveAutoscaler`] (diurnal-aware
 //!   pre-provisioning) is the worked example outside the fleet crate.
+//!
+//! And once cells exist on any axis, `skywalker-lab` sweeps their cross
+//! product — policy × workload × fleet × seed — across OS threads with
+//! bit-identical results at any worker count (`examples/sweep.rs`;
+//! determinism rules in `docs/architecture.md`).
 
 pub mod autoscale;
 pub mod fabric;
@@ -96,10 +126,10 @@ pub use fabric::{
 };
 pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
-    balanced_fleet, diurnal_reference_predictive, diurnal_reference_reactive,
-    equal_cost_lite_fleet, fig10_diurnal_scenario, fig10_scenario, fig8_scenario, fig9_scenario,
-    l4_fleet, lite_fleet, trio_diurnal_profiles, unbalanced_fleet, workload_clients, Workload,
-    L4_LITE, REGIONS,
+    balanced_fleet, diurnal_recipe, diurnal_reference_predictive, diurnal_reference_reactive,
+    equal_cost_lite_fleet, fig10_diurnal_scenario, fig10_scenario, fig8_recipe, fig8_scenario,
+    fig9_scenario, l4_fleet, lite_fleet, trio_diurnal_profiles, unbalanced_fleet, workload_clients,
+    Workload, L4_LITE, REGIONS,
 };
 pub use skywalker_fleet::{
     AutoscalerConfig, ChaosConfig, ChaosPlan, FleetCommand, FleetEvent, FleetObservation,

@@ -26,7 +26,7 @@ use skywalker_workload::{
 use skywalker_fleet::AutoscalerConfig;
 
 use crate::autoscale::PredictiveConfig;
-use crate::fabric::{ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
+use crate::fabric::{FabricConfig, ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
 use crate::sources::DiurnalSource;
 
 /// The paper's three serving regions.
@@ -324,6 +324,48 @@ pub fn fig10_diurnal_scenario(
         .expect("fig10 diurnal presets set a fleet and traffic")
 }
 
+/// A seed-parametric recipe of one Fig. 8 grid cell, shaped for a sweep
+/// harness (`skywalker-lab`'s `SweepSpec::cell`): the seed the sweep
+/// derives per `(cell, replicate)` drives both the traffic generation
+/// and the fabric's root seed, so every crossing of a sweep is an
+/// independent, reproducible experiment.
+pub fn fig8_recipe(
+    system: SystemKind,
+    workload: Workload,
+    scale: f64,
+) -> impl Fn(u64) -> (Scenario, FabricConfig) + Clone + Send + Sync + 'static {
+    move |seed| {
+        let cfg = FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        };
+        (fig8_scenario(system, workload, scale, seed), cfg)
+    }
+}
+
+/// A seed-parametric recipe of the compressed diurnal day
+/// ([`fig10_diurnal_scenario`]) — the sweep-harness counterpart of
+/// [`fig8_recipe`] for fleet-elasticity grids. Attach a fleet plan to
+/// the returned scenario inside a wrapping closure to sweep autoscaler
+/// variants.
+pub fn diurnal_recipe(
+    system: SystemKind,
+    per_region: u32,
+    day: SimDuration,
+    scale: f64,
+) -> impl Fn(u64) -> (Scenario, FabricConfig) + Clone + Send + Sync + 'static {
+    move |seed| {
+        let cfg = FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        };
+        (
+            fig10_diurnal_scenario(system, per_region, day, scale, seed),
+            cfg,
+        )
+    }
+}
+
 /// The equal-cost static counterpart of an elastic run: a lite fleet
 /// whose size matches the elastic run's time-weighted mean replica
 /// count (`RunSummary::fleet.mean_total()`), rounded and split across
@@ -465,5 +507,31 @@ mod tests {
     fn workload_labels_stable() {
         assert_eq!(Workload::Arena.label(), "ChatBot Arena");
         assert_eq!(Workload::ALL.len(), 4);
+    }
+
+    #[test]
+    fn recipes_are_pure_in_the_seed() {
+        let recipe = fig8_recipe(SystemKind::SkyWalker, Workload::Tot, 0.02);
+        let (a, cfg_a) = recipe(9);
+        let (b, cfg_b) = recipe(9);
+        assert_eq!(cfg_a.seed, 9);
+        assert_eq!(cfg_b.seed, 9);
+        assert_eq!(a.label, b.label);
+        // Same seed → identical client populations.
+        assert_eq!(
+            a.clients_until(SimTime::ZERO),
+            b.clients_until(SimTime::ZERO)
+        );
+        // Different seed → a different (but equally sized) population.
+        let (c, _) = recipe(10);
+        assert_eq!(
+            a.clients_until(SimTime::ZERO).len(),
+            c.clients_until(SimTime::ZERO).len()
+        );
+
+        let diurnal = diurnal_recipe(SystemKind::SkyWalker, 2, SimDuration::from_secs(600), 0.004);
+        let (d, cfg_d) = diurnal(5);
+        assert_eq!(cfg_d.seed, 5);
+        assert_eq!(d.replicas.len(), 6);
     }
 }
