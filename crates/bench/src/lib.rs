@@ -103,6 +103,26 @@ pub mod rows {
         ]
     }
 
+    /// One `BENCH_engine.json` row: the serving-engine shootout schema
+    /// (engine label, latency split, and the engine counters —
+    /// preemptions, evicted KV tokens, chunked iterations).
+    pub fn engine_row(engine: &str, s: &RunSummary) -> Vec<(&'static str, Val)> {
+        vec![
+            ("engine", Val::from(engine)),
+            ("completed", Val::from(s.report.completed)),
+            ("failed", Val::from(s.report.failed)),
+            ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+            ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+            ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+            ("tok_s", Val::from(s.report.throughput_tps)),
+            ("hit_rate", Val::from(s.replica_hit_rate)),
+            ("preempted", Val::from(s.preempted)),
+            ("evicted_tokens", Val::from(s.evicted_tokens)),
+            ("chunked_steps", Val::from(s.chunked_steps)),
+            ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+        ]
+    }
+
     /// One `BENCH_fleet.json` row: the fleet-elasticity schema.
     pub fn fleet_row(fleet: &str, s: &RunSummary) -> Vec<(&'static str, Val)> {
         vec![
@@ -203,6 +223,24 @@ mod tests {
                 "hit_rate",
                 "forwarded",
                 "completed",
+                "end_time_s"
+            ]
+        );
+        let keys: Vec<&str> = rows::engine_row("e", &s).iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "engine",
+                "completed",
+                "failed",
+                "ttft_p50_s",
+                "ttft_p90_s",
+                "e2e_p90_s",
+                "tok_s",
+                "hit_rate",
+                "preempted",
+                "evicted_tokens",
+                "chunked_steps",
                 "end_time_s"
             ]
         );

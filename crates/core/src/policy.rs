@@ -289,6 +289,17 @@ impl<T: RingTarget> RoutingPolicy<T> for ConsistentHash<T> {
 
 /// Prefix-tree routing (§3.2, SkyWalker; also models the SGLang Router
 /// baseline when combined with blind pushing).
+///
+/// The balancer-side trie records what each target *was sent*, not what
+/// its replica still holds: [`RoutingPolicy::hit_ratio`] is therefore
+/// an optimistic estimate. How optimistic depends on the replica's
+/// serving engine — under KV pressure an aggressive `KvEvictor`
+/// (`skywalker-replica`) discards exactly the prefixes this trie still
+/// advertises, and the realized replica hit rate falls below the
+/// routing estimate. The `memory_pressure` preset +
+/// `examples/engine_shootout.rs` measure that gap per engine; see
+/// `docs/replica.md` §4 for the interplay and how to calibrate
+/// `affinity_threshold` against eviction churn.
 #[derive(Debug)]
 pub struct CacheAware<T> {
     /// Prefix trie recording which target served which prompts.

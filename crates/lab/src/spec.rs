@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use skywalker::{FabricConfig, Scenario};
+use skywalker::{EngineSpec, FabricConfig, Scenario};
 use skywalker_sim::DetRng;
 
 /// A cell recipe: derived seed in, runnable experiment out.
@@ -141,6 +141,32 @@ impl SweepSpec {
         self
     }
 
+    /// Crosses one scenario recipe with a list of serving engines: one
+    /// cell per engine, labeled `"{base}/{engine label}"`, each
+    /// installing its engine into the recipe's scenario. This is the
+    /// engine axis of the grid — combine with ordinary
+    /// [`SweepSpec::cell`]s to sweep engines × policies × traffic ×
+    /// fleets in one run (`examples/engine_shootout.rs`).
+    pub fn engine_cells(
+        mut self,
+        base: impl Into<String>,
+        recipe: impl Fn(u64) -> (Scenario, FabricConfig) + Clone + Send + Sync + 'static,
+        engines: Vec<EngineSpec>,
+    ) -> Self {
+        let base = base.into();
+        for engine in engines {
+            let label = format!("{base}/{}", engine.label());
+            let recipe = recipe.clone();
+            self = self.cell(label.clone(), move |seed| {
+                let (mut scenario, cfg) = recipe(seed);
+                scenario.label = label.clone();
+                scenario.engine = Some(engine.clone());
+                (scenario, cfg)
+            });
+        }
+        self
+    }
+
     /// The sweep's display label.
     pub fn label(&self) -> &str {
         &self.label
@@ -222,6 +248,27 @@ mod tests {
     fn replicates_clamped_to_one() {
         let spec = SweepSpec::new("t", 1).replicates(0);
         assert_eq!(spec.replicate_count(), 1);
+    }
+
+    #[test]
+    fn engine_cells_cross_engines_into_labeled_cells() {
+        use skywalker::{EngineSpec, FcfsBatch, LruEvictor, PrefixAwareEvictor};
+        let engines = vec![
+            EngineSpec::default(),
+            EngineSpec::new(Box::new(FcfsBatch::chunked(64)), Box::new(LruEvictor)),
+            EngineSpec::new(Box::new(FcfsBatch::new()), Box::new(PrefixAwareEvictor)),
+        ];
+        let spec = SweepSpec::new("engines", 1).engine_cells("tot", tiny_recipe, engines);
+        assert_eq!(spec.cell_count(), 3);
+        assert_eq!(spec.cells[0].label(), "tot/fcfs+lru");
+        assert_eq!(spec.cells[1].label(), "tot/fcfs-chunk64+lru");
+        assert_eq!(spec.cells[2].label(), "tot/fcfs+prefix-aware");
+        let (scenario, _) = spec.cells[1].build(5);
+        assert_eq!(scenario.label, "tot/fcfs-chunk64+lru");
+        assert_eq!(
+            scenario.engine.as_ref().map(|e| e.label()),
+            Some("fcfs-chunk64+lru".to_string())
+        );
     }
 
     #[test]

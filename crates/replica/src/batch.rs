@@ -4,10 +4,16 @@
 //! vLLM (§2.1): requests wait in a *pending* queue until the batch has KV
 //! headroom, then join the running batch; every iteration each running
 //! request advances by one token; finished requests leave and free their
-//! memory. Admission is FCFS and preemption-free — a request is only
-//! admitted if its whole footprint (uncached prompt plus worst-case
-//! output) is guaranteed to fit, which is how engines avoid mid-decode
-//! OOM without preemption.
+//! memory. *What* joins the batch each iteration — admission order,
+//! chunked prefill, preemption — is an open policy: the replica asks
+//! its [`BatchPolicy`] for a [`BatchPlan`](crate::BatchPlan) and
+//! enforces the safety mechanics itself (fit checks, lease accounting,
+//! timing). The default [`FcfsBatch`](crate::FcfsBatch) is FCFS and
+//! preemption-free — a request is only admitted if its whole footprint
+//! (uncached prompt plus worst-case output) is guaranteed to fit,
+//! which is how engines avoid mid-decode OOM without preemption — and
+//! is pinned byte-identical to the historical hardcoded loop by
+//! `tests/engine_parity.rs`.
 //!
 //! The *pending queue depth* is the signal the paper's selective-pushing
 //! mechanism reads (§3.3): a replica with pending requests has a full
@@ -17,7 +23,8 @@ use std::collections::VecDeque;
 
 use skywalker_sim::SimDuration;
 
-use crate::kvcache::{Lease, PrefixCache};
+use crate::engine::{BatchPolicy, PendingView, RunningView, StepView};
+use crate::kvcache::{KvEvictor, Lease, PrefixCache};
 use crate::request::{Request, RequestId};
 use crate::timing::GpuProfile;
 use crate::tokenizer::output_token;
@@ -33,6 +40,9 @@ struct Running {
     generated: u32,
     /// Output length this request will reach (≥ 1).
     target: u32,
+    /// Uncached prompt tokens still awaiting prefill. Zero except
+    /// mid-chunked-prefill; a request only decodes once this drains.
+    prefill_remaining: u64,
 }
 
 /// A finished request.
@@ -55,6 +65,10 @@ pub struct StepOutcome {
     pub duration: SimDuration,
     /// Requests admitted from the pending queue this iteration.
     pub admitted: Vec<RequestId>,
+    /// Requests preempted out of the running batch this iteration
+    /// (requeued at the pending front; their generated output was
+    /// discarded).
+    pub preempted: Vec<RequestId>,
     /// Requests that produced their first output token this iteration.
     pub first_tokens: Vec<RequestId>,
     /// Requests that finished this iteration.
@@ -65,6 +79,14 @@ impl StepOutcome {
     /// True if the iteration performed work.
     pub fn worked(&self) -> bool {
         self.duration > SimDuration::ZERO
+    }
+
+    /// True if the iteration changed replica state even without
+    /// consuming virtual time (a preemption that emptied the batch).
+    /// Drivers must not treat such a step as "stuck" — the requeued
+    /// request is servable on the next iteration.
+    pub fn progressed(&self) -> bool {
+        self.worked() || !self.admitted.is_empty() || !self.preempted.is_empty()
     }
 }
 
@@ -87,6 +109,20 @@ pub struct ReplicaStats {
     pub peak_batch: u32,
     /// Peak KV utilization observed (0–1).
     pub peak_kv_utilization: f64,
+    /// Running decodes preempted by the batch policy (their generated
+    /// output was discarded and the request re-queued). Re-admissions
+    /// count again in `admitted`.
+    pub preempted: u64,
+    /// Block-rounded KV tokens reclaimed by cache eviction (cumulative;
+    /// mirrored from the [`PrefixCache`]).
+    pub evicted_tokens: u64,
+    /// Iterations in which chunked prefill was active (a prompt's
+    /// prefill was split across iterations).
+    pub chunked_steps: u64,
+    /// KV tokens handed back to the reclaimable pool by
+    /// [`Replica::fail_all`]: the failed in-flight leases' pinned paths
+    /// (which may overlap) plus their private decode tokens.
+    pub crash_reclaimed_tokens: u64,
 }
 
 impl ReplicaStats {
@@ -127,24 +163,52 @@ pub struct Replica {
     /// Sum of private (not yet tree-resident) generated tokens.
     private_tokens: u64,
     /// Sum of tokens still to be generated by the running batch — the
-    /// admission reservation that makes the engine preemption-free.
+    /// admission reservation that bounds concurrency.
     reserved_tokens: u64,
+    /// The open admission/scheduling policy driving [`Replica::step`].
+    policy: Box<dyn BatchPolicy>,
     stats: ReplicaStats,
 }
 
 impl Replica {
-    /// Creates an idle replica.
+    /// Creates an idle replica with the default engine
+    /// ([`crate::FcfsBatch`] + [`crate::LruEvictor`] — the historical
+    /// behavior).
     pub fn new(id: ReplicaId, profile: GpuProfile) -> Self {
+        Self::with_engine(
+            id,
+            profile,
+            Box::new(crate::FcfsBatch::new()),
+            Box::new(crate::LruEvictor),
+        )
+    }
+
+    /// Creates an idle replica running a custom serving engine: `batch`
+    /// plans each iteration's admission/chunking/preemption, `evictor`
+    /// picks KV-eviction victims. See `docs/replica.md` for the recipe;
+    /// `EngineSpec` bundles both for scenario-level wiring.
+    pub fn with_engine(
+        id: ReplicaId,
+        profile: GpuProfile,
+        batch: Box<dyn BatchPolicy>,
+        evictor: Box<dyn KvEvictor>,
+    ) -> Self {
         Replica {
             id,
             profile,
-            cache: PrefixCache::new(profile.kv),
+            cache: PrefixCache::with_evictor(profile.kv, evictor),
             pending: VecDeque::new(),
             running: Vec::new(),
             private_tokens: 0,
             reserved_tokens: 0,
+            policy: batch,
             stats: ReplicaStats::default(),
         }
+    }
+
+    /// The engine's display label, e.g. `"fcfs+lru"`.
+    pub fn engine_label(&self) -> String {
+        format!("{}+{}", self.policy.label(), self.cache.evictor_label())
     }
 
     /// The replica id.
@@ -189,7 +253,9 @@ impl Replica {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> ReplicaStats {
-        self.stats
+        let mut s = self.stats;
+        s.evicted_tokens = self.cache.evicted_tokens();
+        s
     }
 
     /// Longest cached prefix for a prompt, for router probes.
@@ -202,66 +268,209 @@ impl Replica {
         &self.cache
     }
 
-    /// Executes one continuous-batching iteration: admit what fits, then
-    /// advance every running request by one token. Returns what happened
-    /// and how long it took; an idle replica returns a zero-duration
-    /// outcome.
+    /// Executes one continuous-batching iteration: ask the
+    /// [`BatchPolicy`] for a plan, apply its preemptions, admit what
+    /// the plan selects *and* the memory fit check allows, advance
+    /// prefill chunks, then decode one token for every fully-prefilled
+    /// running request. Returns what happened and how long it took; an
+    /// idle replica returns a zero-duration outcome.
     pub fn step(&mut self) -> StepOutcome {
         let mut out = StepOutcome::default();
 
-        // Admission: FCFS, stop at the first request that does not fit.
-        // Skipping ahead would starve large requests forever.
-        let mut prefill_uncached = 0u64;
-        while self.running.len() < self.profile.max_batch_size as usize {
-            let Some(req) = self.pending.front() else {
-                break;
-            };
-            let target = req.target_output_tokens.max(1);
-            if !self.admission_fits(req, target) {
+        // Snapshot the queues for the policy. Plan indices refer to
+        // these snapshots; nothing below reorders the pending queue
+        // until admission has consumed its indices.
+        let pending_view: Vec<PendingView> = self
+            .pending
+            .iter()
+            .map(|r| PendingView {
+                id: r.id,
+                prompt_tokens: r.prompt.len() as u32,
+                target_output_tokens: r.target_output_tokens,
+            })
+            .collect();
+        let running_view: Vec<RunningView> = self
+            .running
+            .iter()
+            .map(|r| RunningView {
+                id: r.req.id,
+                prompt_tokens: r.req.prompt.len() as u32,
+                generated: r.generated,
+                target: r.target,
+                prefill_remaining: r.prefill_remaining,
+            })
+            .collect();
+        let view = StepView {
+            pending: &pending_view,
+            running: &running_view,
+            kv_capacity: self.profile.kv.capacity_tokens,
+            kv_used: self.cache.used_tokens(),
+            kv_reclaimable: self.cache.reclaimable_tokens(),
+            kv_committed: self.cache.used_tokens() - self.cache.reclaimable_tokens()
+                + self.private_tokens
+                + self.reserved_tokens,
+            max_batch: self.profile.max_batch_size,
+        };
+        let plan = self.policy.plan(&view);
+        let chunk = plan.prefill_chunk.map(|c| u64::from(c.max(1)));
+
+        // Preemption first: it frees reservations, so admission below
+        // sees the headroom it created. The victims' requests are held
+        // aside and requeued *after* admission, so the plan's pending
+        // indices stay valid throughout.
+        let mut preempt: Vec<usize> = plan
+            .preempt
+            .iter()
+            .copied()
+            .filter(|&i| i < self.running.len())
+            .collect();
+        preempt.sort_unstable();
+        preempt.dedup();
+        let mut preempted: Vec<Request> = Vec::new();
+        for &i in preempt.iter().rev() {
+            let run = self.running.remove(i);
+            self.private_tokens -= u64::from(run.generated);
+            self.reserved_tokens -= u64::from(run.target - run.generated);
+            self.stats.preempted += 1;
+            self.cache.release(run.lease);
+            out.preempted.push(run.req.id);
+            preempted.push(run.req);
+        }
+
+        // Continuation chunks for carried-over mid-prefill requests
+        // (before admission, so newly admitted prompts are not charged
+        // twice in their first iteration).
+        let mut prefill_cont = 0u64;
+        let mut chunked_prefill_active = false;
+        for run in &mut self.running {
+            if run.prefill_remaining == 0 {
+                continue;
+            }
+            let take = chunk.map_or(run.prefill_remaining, |c| run.prefill_remaining.min(c));
+            run.prefill_remaining -= take;
+            prefill_cont += take;
+            chunked_prefill_active = true;
+        }
+
+        // Admission in plan order, under the replica's own fit check.
+        // Counters and cache state update immediately (later fit checks
+        // must see earlier admissions); the owned requests move out of
+        // the pending queue in one pass afterwards.
+        let mut admissions: Vec<(usize, Lease, u64, u64)> = Vec::new();
+        let mut taken = vec![false; self.pending.len()];
+        let mut prefill_fresh = 0u64;
+        for &idx in &plan.admit_order {
+            if self.running.len() + admissions.len() >= self.profile.max_batch_size as usize {
                 break;
             }
-            let req = self.pending.pop_front().expect("front checked");
-            let (lease, cached) = match self.cache.acquire(&req.prompt) {
+            if idx >= self.pending.len() || taken[idx] {
+                continue;
+            }
+            let target = self.pending[idx].target_output_tokens.max(1);
+            if !self.admission_fits(&self.pending[idx].prompt, target) {
+                if plan.skip_unfit {
+                    continue;
+                }
+                break;
+            }
+            let (lease, cached) = match self.cache.acquire(&self.pending[idx].prompt) {
                 Ok(v) => v,
                 Err(_) => {
-                    // The conservative fit check passed but fragmentation
-                    // still defeated the acquire; requeue and stop.
-                    self.pending.push_front(req);
+                    // The conservative fit check passed but
+                    // fragmentation still defeated the acquire; the
+                    // request stays queued.
+                    if plan.skip_unfit {
+                        continue;
+                    }
                     break;
                 }
             };
+            let req = &self.pending[idx];
             let uncached = req.prompt.len() as u64 - cached;
-            prefill_uncached += uncached;
+            let first = chunk.map_or(uncached, |c| uncached.min(c));
+            if first < uncached {
+                chunked_prefill_active = true;
+            }
+            prefill_fresh += first;
             self.reserved_tokens += u64::from(target);
             self.stats.admitted += 1;
             self.stats.prompt_tokens += req.prompt.len() as u64;
             self.stats.cached_prompt_tokens += cached;
             out.admitted.push(req.id);
-            self.running.push(Running {
-                req,
-                lease,
-                cached_prompt: cached,
-                generated: 0,
-                target,
-            });
+            taken[idx] = true;
+            admissions.push((idx, lease, cached, uncached - first));
+        }
+        if !admissions.is_empty() {
+            // Move the admitted requests out highest-index-first so the
+            // remaining indices stay valid (O(1) per removal in the
+            // FCFS common case of front indices), then enter the batch
+            // in *plan* order.
+            let mut removed: Vec<(usize, Request)> = {
+                let mut idxs: Vec<usize> = admissions.iter().map(|a| a.0).collect();
+                idxs.sort_unstable_by(|a, b| b.cmp(a));
+                idxs.into_iter()
+                    .map(|i| {
+                        let req = self.pending.remove(i).expect("admitted index in range");
+                        (i, req)
+                    })
+                    .collect()
+            };
+            for (idx, lease, cached, prefill_remaining) in admissions {
+                let pos = removed
+                    .iter()
+                    .position(|(i, _)| *i == idx)
+                    .expect("each admitted index removed once");
+                let (_, req) = removed.swap_remove(pos);
+                let target = req.target_output_tokens.max(1);
+                self.running.push(Running {
+                    req,
+                    lease,
+                    cached_prompt: cached,
+                    generated: 0,
+                    target,
+                    prefill_remaining,
+                });
+            }
+        }
+        // Preempted requests go back to the *front* (oldest first): the
+        // default FCFS re-admits them before anything newer, so
+        // preemption cannot starve a request forever.
+        for req in preempted {
+            self.pending.push_front(req);
         }
 
         if self.running.is_empty() {
             return out;
         }
 
-        // Iteration time: prefill the newly admitted prompts, then one
-        // decode step over the whole batch (the admitted requests' first
-        // token comes out of the prefill pass).
-        let mut duration = self.profile.decode_step_time(self.running.len() as u32);
-        if prefill_uncached > 0 {
-            duration += self.profile.prefill_time(prefill_uncached);
+        // Iteration time: one prefill pass over this iteration's chunk
+        // tokens (fresh if any prompt started prefilling), then one
+        // decode step over the fully-prefilled part of the batch (an
+        // admitted request's first token comes out of the pass that
+        // finishes its prefill).
+        let decoding = self
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining == 0)
+            .count();
+        let prefill_tokens = prefill_fresh + prefill_cont;
+        let mut duration = self.profile.decode_step_time(decoding as u32);
+        if prefill_tokens > 0 {
+            duration += self
+                .profile
+                .prefill_pass_time(prefill_tokens, prefill_fresh > 0);
+        }
+        if chunked_prefill_active {
+            self.stats.chunked_steps += 1;
         }
         out.duration = duration;
 
-        // Advance every running request by one token.
+        // Advance every fully-prefilled running request by one token.
         let mut finished = Vec::new();
         for (i, run) in self.running.iter_mut().enumerate() {
+            if run.prefill_remaining > 0 {
+                continue;
+            }
             if run.generated == 0 {
                 out.first_tokens.push(run.req.id);
             }
@@ -301,13 +510,14 @@ impl Replica {
         out
     }
 
-    /// Conservative fit check for admitting `req`: uncached prompt charge
-    /// plus full output reservation must fit next to everything already
-    /// resident or reserved.
-    fn admission_fits(&self, req: &Request, target: u32) -> bool {
+    /// Conservative fit check for admitting a request: uncached prompt
+    /// charge plus full output reservation must fit next to everything
+    /// already resident or reserved. This is the replica's own safety
+    /// rail — batch policies choose *order*, not whether this holds.
+    fn admission_fits(&self, prompt: &[u32], target: u32) -> bool {
         let cap = self.profile.kv.capacity_tokens;
-        let cached = self.cache.matched_tokens(&req.prompt);
-        let uncached = req.prompt.len() as u64 - cached;
+        let cached = self.cache.matched_tokens(prompt);
+        let uncached = prompt.len() as u64 - cached;
         // Block-rounding slack: one extra block covers a possible split.
         let block = u64::from(self.profile.kv.block_tokens);
         let prompt_charge = uncached.div_ceil(block.max(1)) * block.max(1) + block;
@@ -336,7 +546,12 @@ impl Replica {
         for run in self.running.drain(..) {
             self.private_tokens -= u64::from(run.generated);
             self.reserved_tokens -= u64::from(run.target - run.generated);
-            self.cache.complete(run.lease, &[]);
+            // Release the lease explicitly (nothing to extend — the
+            // partial output is discarded) and account for what the
+            // crash hands back to the reclaimable pool: the lease's
+            // pinned path plus the private decode tokens.
+            self.stats.crash_reclaimed_tokens += run.lease.tokens() + u64::from(run.generated);
+            self.cache.release(run.lease);
             out.push(run.req);
         }
         out.extend(self.pending.drain(..));
@@ -351,9 +566,11 @@ impl Replica {
         let mut elapsed = SimDuration::ZERO;
         while !self.is_idle() {
             let out = self.step();
-            if !out.worked() && out.admitted.is_empty() {
+            if !out.progressed() {
                 // Pending work that can never fit (e.g. a prompt larger
-                // than the whole cache): drop it rather than spin.
+                // than the whole cache): drop it rather than spin. A
+                // zero-duration step that merely preempted is *not*
+                // stuck — the requeued request is servable next step.
                 let dropped = self.pending.pop_front();
                 debug_assert!(dropped.is_some(), "non-idle replica made no progress");
                 continue;
@@ -375,6 +592,7 @@ mod tests {
             name: "test",
             prefill_base_us: 1_000,
             prefill_per_token_us: 100.0,
+            chunk_base_us: 400,
             decode_base_us: 1_000,
             decode_per_request_us: 100.0,
             kv: KvConfig::tiny(capacity),
@@ -600,6 +818,190 @@ mod tests {
             "admitted {} concurrent requests",
             out.admitted.len()
         );
+    }
+
+    mod engine_behavior {
+        use super::*;
+        use crate::engine::FcfsBatch;
+        use crate::kvcache::{LruEvictor, NoEvict};
+
+        #[test]
+        fn chunked_prefill_bounds_iterations_and_delays_first_token() {
+            let p = small_profile(4096, 8);
+            // Unchunked: a 100-token prompt prefills in one long pass.
+            let mut whole = Replica::new(ReplicaId(0), p);
+            whole.enqueue(req(1, vec![1; 100], 2));
+            let w1 = whole.step();
+            assert_eq!(w1.first_tokens, vec![RequestId(1)]);
+
+            // Chunk 40: three passes (40/40/20); the first token only
+            // streams once prefill completes, and every iteration is
+            // shorter than the unchunked pass.
+            let mut chunked = Replica::with_engine(
+                ReplicaId(1),
+                p,
+                Box::new(FcfsBatch::chunked(40)),
+                Box::new(LruEvictor),
+            );
+            chunked.enqueue(req(1, vec![1; 100], 2));
+            let c1 = chunked.step();
+            assert_eq!(c1.admitted, vec![RequestId(1)]);
+            assert!(c1.first_tokens.is_empty(), "still mid-prefill");
+            assert!(c1.duration < w1.duration);
+            let c2 = chunked.step();
+            assert!(c2.first_tokens.is_empty(), "still mid-prefill");
+            let c3 = chunked.step();
+            assert_eq!(
+                c3.first_tokens,
+                vec![RequestId(1)],
+                "first token streams the iteration prefill drains"
+            );
+            assert!(chunked.stats().chunked_steps >= 2);
+            let (done, _) = chunked.run_to_idle();
+            assert_eq!(done.len() + c3.completions.len(), 1);
+            assert_eq!(whole.stats().chunked_steps, 0);
+        }
+
+        #[test]
+        fn chunked_total_matches_unchunked_output() {
+            // Chunking changes timing, never results: same completions,
+            // token for token.
+            let p = small_profile(2048, 4);
+            let mk = |chunk: Option<u32>| {
+                let batch = match chunk {
+                    Some(c) => FcfsBatch::chunked(c),
+                    None => FcfsBatch::new(),
+                };
+                let mut r =
+                    Replica::with_engine(ReplicaId(0), p, Box::new(batch), Box::new(LruEvictor));
+                for i in 0..6 {
+                    r.enqueue(req(i, vec![i as u32; 30], 5));
+                }
+                let (mut done, _) = r.run_to_idle();
+                done.sort_by_key(|c| c.id.0);
+                done
+            };
+            assert_eq!(mk(None), mk(Some(7)));
+        }
+
+        #[test]
+        fn preemption_requeues_and_counts() {
+            // Tiny cache: two running requests saturate it; the
+            // preemptive policy evicts the youngest decode once
+            // pressure crosses the threshold, and the victim completes
+            // later anyway.
+            let p = small_profile(64, 8);
+            let mut r = Replica::with_engine(
+                ReplicaId(0),
+                p,
+                Box::new(FcfsBatch::new().with_preemption(0.5)),
+                Box::new(LruEvictor),
+            );
+            for i in 0..3 {
+                r.enqueue(req(i, vec![100 + i as u32, 2, 3], 20));
+            }
+            let (done, _) = r.run_to_idle();
+            assert_eq!(done.len(), 3, "preempted work still completes");
+            assert!(r.stats().preempted > 0, "pressure forced preemptions");
+            assert!(r.is_idle());
+            r.cache().check_invariants();
+        }
+
+        /// A hostile policy: preempts the *entire* batch once, then
+        /// behaves FCFS. The resulting zero-duration step must read as
+        /// progress (the requeued work is servable), not as a stuck
+        /// head to be dropped.
+        #[derive(Debug, Clone)]
+        struct PreemptAllOnce {
+            fired: bool,
+        }
+
+        impl crate::BatchPolicy for PreemptAllOnce {
+            fn plan(&mut self, view: &crate::StepView<'_>) -> crate::BatchPlan {
+                let mut plan = crate::BatchPlan::fcfs(view.pending.len());
+                if !self.fired && !view.running.is_empty() {
+                    self.fired = true;
+                    plan.admit_order.clear();
+                    plan.preempt = (0..view.running.len()).collect();
+                }
+                plan
+            }
+
+            fn label(&self) -> String {
+                "preempt-all-once".to_string()
+            }
+        }
+
+        #[test]
+        fn preempting_the_whole_batch_is_progress_not_a_stuck_head() {
+            let mut r = Replica::with_engine(
+                ReplicaId(0),
+                small_profile(1024, 8),
+                Box::new(PreemptAllOnce { fired: false }),
+                Box::new(LruEvictor),
+            );
+            r.enqueue(req(1, vec![1, 2, 3], 4));
+            let admit = r.step();
+            assert_eq!(admit.admitted, vec![RequestId(1)]);
+            let storm = r.step();
+            assert_eq!(storm.preempted, vec![RequestId(1)]);
+            assert!(!storm.worked(), "preempt-only step consumes no time");
+            assert!(storm.progressed(), "but it is not a stuck step");
+            // The drop-guard in run_to_idle must serve the requeued
+            // request instead of discarding it.
+            let (done, _) = r.run_to_idle();
+            assert_eq!(done.len(), 1, "preempted request still completes");
+            assert_eq!(r.stats().preempted, 1);
+        }
+
+        #[test]
+        fn evicted_tokens_mirrored_into_stats() {
+            let p = small_profile(16, 4);
+            let mut r = Replica::new(ReplicaId(0), p);
+            r.enqueue(req(1, vec![1, 2, 3, 4], 2));
+            r.run_to_idle();
+            r.enqueue(req(2, vec![9, 9, 9, 9, 9, 9], 2));
+            r.run_to_idle();
+            assert_eq!(r.stats().evicted_tokens, r.cache().evicted_tokens());
+            assert!(
+                r.stats().evicted_tokens > 0,
+                "second prompt forced eviction"
+            );
+        }
+
+        #[test]
+        fn noevict_replica_fails_work_instead_of_recycling() {
+            let p = small_profile(16, 4);
+            let mut lru = Replica::new(ReplicaId(0), p);
+            let mut pinned = Replica::with_engine(
+                ReplicaId(1),
+                p,
+                Box::new(FcfsBatch::new()),
+                Box::new(NoEvict),
+            );
+            for r in [&mut lru, &mut pinned] {
+                r.enqueue(req(1, vec![1, 2, 3, 4, 5, 6, 7, 8], 2));
+                r.run_to_idle();
+                r.enqueue(req(2, vec![9, 9, 9, 9, 9, 9, 9, 9], 2));
+            }
+            let (lru_done, _) = lru.run_to_idle();
+            let (pinned_done, _) = pinned.run_to_idle();
+            assert_eq!(lru_done.len(), 1, "LRU recycles and serves");
+            assert!(pinned_done.is_empty(), "NoEvict drops what cannot fit");
+        }
+
+        #[test]
+        fn fail_all_counts_reclaimed_tokens() {
+            let mut r = Replica::new(ReplicaId(0), small_profile(4096, 8));
+            r.enqueue(req(1, vec![1, 2, 3, 4], 6));
+            r.step();
+            r.step(); // two tokens generated, lease pins 4 prompt tokens
+            let lost = r.fail_all();
+            assert_eq!(lost.len(), 1);
+            // 4 pinned lease tokens + 2 private decode tokens.
+            assert_eq!(r.stats().crash_reclaimed_tokens, 6);
+            assert_eq!(r.cache().reclaimable_tokens(), r.cache().used_tokens());
+        }
     }
 
     mod properties {

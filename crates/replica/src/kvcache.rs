@@ -16,9 +16,17 @@
 //! eviction runs, so making room for a request can never evict the very
 //! prefix it is about to reuse. The cache never evicts referenced state
 //! and never exceeds its token capacity — both are checked invariants,
-//! exercised by the property tests at the bottom of this file.
+//! exercised by the property tests at the bottom of this file and the
+//! seeded suite in `tests/kvcache_props.rs`.
+//!
+//! *Which* unpinned state goes first is an open policy: the cache asks
+//! its [`KvEvictor`] to pick among the currently evictable leaves.
+//! [`LruEvictor`] (the default) reproduces the historical behavior
+//! byte-for-byte; [`PrefixAwareEvictor`] protects hot shared prefixes;
+//! [`NoEvict`] turns a full cache into a hard admission wall.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Cache geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +90,124 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+/// One evictable tree node, as [`KvEvictor`]s see it. Candidates are
+/// always unpinned leaves (no lease passes through them, no children),
+/// presented in stable node-arena order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictCandidate {
+    /// LRU clock value of the node's last traversal (higher = more
+    /// recent).
+    pub last_used: u64,
+    /// Times an `acquire`/`extend` walk reused (pinned through) this
+    /// node since insertion — the sharing-heat signal.
+    pub hits: u64,
+    /// Token length of the node's segment.
+    pub tokens: u32,
+    /// Block-rounded tokens evicting this node frees.
+    pub charge: u64,
+    /// Distance from the root (1 = top-level prefix).
+    pub depth: u32,
+}
+
+/// Object-safe cloning for boxed evictors, blanket-implemented for every
+/// `Clone` evictor — implementors only need `#[derive(Clone)]`.
+pub trait CloneKvEvictor {
+    /// Clones the evictor behind a fresh box.
+    fn clone_box(&self) -> Box<dyn KvEvictor>;
+}
+
+impl<T: KvEvictor + Clone + 'static> CloneKvEvictor for T {
+    fn clone_box(&self) -> Box<dyn KvEvictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// The open eviction policy of the [`PrefixCache`]: when an `acquire`
+/// or `extend` needs room, the cache repeatedly asks the evictor to
+/// pick one victim among the currently evictable leaves until enough
+/// space is free.
+///
+/// The contract is narrow by construction: candidates are always
+/// unpinned leaves, so *no evictor can reclaim pinned state* — the
+/// cache's safety invariants hold for arbitrary implementations, and a
+/// policy only chooses the order in which reclaimable state dies.
+/// Returning `None` refuses to evict; the triggering operation then
+/// fails with [`KvError::InsufficientCapacity`] (or drops the
+/// extension) exactly as if the cache were unreclaimably full.
+pub trait KvEvictor: fmt::Debug + Send + Sync + CloneKvEvictor {
+    /// Picks the index (into `candidates`) of the next victim, or
+    /// `None` to refuse eviction. Out-of-range picks are treated as
+    /// refusals.
+    fn pick(&mut self, candidates: &[EvictCandidate]) -> Option<usize>;
+
+    /// Display label for experiment tables, e.g. `"lru"`.
+    fn label(&self) -> String;
+}
+
+impl Clone for Box<dyn KvEvictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Evict the least-recently-used leaf first — the historical behavior,
+/// byte-identical to the pre-trait cache (ties break toward the lowest
+/// node index, as the old scan did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruEvictor;
+
+impl KvEvictor for LruEvictor {
+    fn pick(&mut self, candidates: &[EvictCandidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(i, _)| i)
+    }
+
+    fn label(&self) -> String {
+        "lru".to_string()
+    }
+}
+
+/// Never evict: a full cache rejects new work instead of recycling old
+/// state. Useful as a baseline (how much is eviction worth?) and for
+/// engines that prefer queueing over cache churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoEvict;
+
+impl KvEvictor for NoEvict {
+    fn pick(&mut self, _candidates: &[EvictCandidate]) -> Option<usize> {
+        None
+    }
+
+    fn label(&self) -> String {
+        "noevict".to_string()
+    }
+}
+
+/// Keep hot shared prefixes: evict the *coldest* leaf first — fewest
+/// reuse hits, then deepest (most specific), then least recently used.
+/// Under workloads with a shared corpus (RAG, system prompts) this
+/// sacrifices one-off tails to protect the prefixes many requests
+/// re-walk, trading LRU's recency bet for a popularity bet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixAwareEvictor;
+
+impl KvEvictor for PrefixAwareEvictor {
+    fn pick(&mut self, candidates: &[EvictCandidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.hits, std::cmp::Reverse(c.depth), c.last_used))
+            .map(|(i, _)| i)
+    }
+
+    fn label(&self) -> String {
+        "prefix-aware".to_string()
+    }
+}
+
 /// A pinned path in the cache, held by one running request.
 ///
 /// Leases are move-only tickets: they must be returned via
@@ -112,6 +238,8 @@ struct Node {
     refs: u32,
     /// LRU clock value of the last traversal.
     last_used: u64,
+    /// Times an acquire/extend walk reused this node since insertion.
+    hits: u64,
     /// True if the slot is on the free list.
     dead: bool,
 }
@@ -156,11 +284,20 @@ pub struct PrefixCache {
     /// Cumulative counters for hit-rate reporting.
     total_prompt_tokens: u64,
     total_cached_tokens: u64,
+    /// Cumulative block-rounded tokens reclaimed by eviction.
+    evicted_tokens: u64,
+    /// The open eviction policy (default: [`LruEvictor`]).
+    evictor: Box<dyn KvEvictor>,
 }
 
 impl PrefixCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default [`LruEvictor`].
     pub fn new(cfg: KvConfig) -> Self {
+        Self::with_evictor(cfg, Box::new(LruEvictor))
+    }
+
+    /// Creates an empty cache that reclaims space through `evictor`.
+    pub fn with_evictor(cfg: KvConfig, evictor: Box<dyn KvEvictor>) -> Self {
         PrefixCache {
             cfg,
             nodes: vec![Node {
@@ -169,6 +306,7 @@ impl PrefixCache {
                 children: BTreeMap::new(),
                 refs: 0,
                 last_used: 0,
+                hits: 0,
                 dead: false,
             }],
             free: Vec::new(),
@@ -176,7 +314,33 @@ impl PrefixCache {
             clock: 0,
             total_prompt_tokens: 0,
             total_cached_tokens: 0,
+            evicted_tokens: 0,
+            evictor,
         }
+    }
+
+    /// The eviction policy's display label.
+    pub fn evictor_label(&self) -> String {
+        self.evictor.label()
+    }
+
+    /// Cumulative block-rounded tokens reclaimed by eviction.
+    pub fn evicted_tokens(&self) -> u64 {
+        self.evicted_tokens
+    }
+
+    /// Tokens currently pinned by live leases (block-rounded charge of
+    /// every node some lease's path passes through). Together with
+    /// [`PrefixCache::reclaimable_tokens`] this partitions
+    /// [`PrefixCache::used_tokens`] — an invariant the seeded property
+    /// suite asserts after every operation.
+    pub fn pinned_tokens(&self) -> u64 {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs > 0)
+            .map(|(_, n)| self.cfg.charge(n.seg.len()))
+            .sum()
     }
 
     /// The cache geometry.
@@ -361,6 +525,11 @@ impl PrefixCache {
             self.used_tokens,
             self.cfg.capacity_tokens
         );
+        assert_eq!(
+            self.pinned_tokens() + self.reclaimable_tokens(),
+            self.used_tokens,
+            "pinned + reclaimable must partition used tokens"
+        );
     }
 
     // ---- internals -------------------------------------------------------
@@ -390,6 +559,7 @@ impl PrefixCache {
                 .count();
             debug_assert!(common >= 1, "child keyed by first token must match it");
             self.nodes[child].refs += 1;
+            self.nodes[child].hits += 1;
             self.touch(child);
             pinned.push(child);
             pos += common;
@@ -425,7 +595,8 @@ impl PrefixCache {
         self.ensure_free(extra)
     }
 
-    /// Evicts LRU unpinned leaves until `needed` tokens are free.
+    /// Evicts unpinned leaves chosen by the [`KvEvictor`] until `needed`
+    /// tokens are free.
     fn ensure_free(&mut self, needed: u64) -> Result<(), KvError> {
         if needed > self.cfg.capacity_tokens {
             return Err(KvError::InsufficientCapacity {
@@ -434,15 +605,51 @@ impl PrefixCache {
             });
         }
         while self.cfg.capacity_tokens - self.used_tokens < needed {
-            let Some(victim) = self.lru_evictable_leaf() else {
+            let (ids, candidates) = self.evictable_leaves();
+            let victim = self
+                .evictor
+                .pick(&candidates)
+                .and_then(|i| ids.get(i).copied());
+            let Some(victim) = victim else {
+                // Nothing evictable, or the policy refused: report what
+                // eviction *could* reclaim so callers can tell a pinned
+                // wall from a policy wall.
                 return Err(KvError::InsufficientCapacity {
                     needed,
-                    reclaimable: 0,
+                    reclaimable: self.reclaimable_tokens(),
                 });
             };
             self.evict(victim);
         }
         Ok(())
+    }
+
+    /// The currently evictable leaves (unpinned, childless), in stable
+    /// node-arena order: their arena ids and the candidate views handed
+    /// to the evictor.
+    fn evictable_leaves(&self) -> (Vec<usize>, Vec<EvictCandidate>) {
+        let mut ids = Vec::new();
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i == ROOT || n.dead || n.refs != 0 || !n.children.is_empty() {
+                continue;
+            }
+            let mut depth = 0u32;
+            let mut at = i;
+            while at != ROOT {
+                depth += 1;
+                at = self.nodes[at].parent;
+            }
+            ids.push(i);
+            out.push(EvictCandidate {
+                last_used: n.last_used,
+                hits: n.hits,
+                tokens: n.seg.len() as u32,
+                charge: self.cfg.charge(n.seg.len()),
+                depth,
+            });
+        }
+        (ids, out)
     }
 
     /// Materializes the plan from [`Self::walk_pin`]: performs the pending
@@ -484,7 +691,9 @@ impl PrefixCache {
         let parent = self.nodes[idx].parent;
         let first = self.nodes[idx].seg[0];
         self.nodes[parent].children.remove(&first);
-        self.used_tokens -= self.cfg.charge(self.nodes[idx].seg.len());
+        let charge = self.cfg.charge(self.nodes[idx].seg.len());
+        self.used_tokens -= charge;
+        self.evicted_tokens += charge;
         let n = &mut self.nodes[idx];
         n.dead = true;
         n.seg = Vec::new();
@@ -501,6 +710,7 @@ impl PrefixCache {
             children: BTreeMap::new(),
             refs,
             last_used: self.clock,
+            hits: 0,
             dead: false,
         };
         if let Some(idx) = self.free.pop() {
@@ -522,6 +732,7 @@ impl PrefixCache {
         let tail: Vec<u32> = self.nodes[child].seg[keep..].to_vec();
         let refs = self.nodes[child].refs;
         let last_used = self.nodes[child].last_used;
+        let hits = self.nodes[child].hits;
 
         // One node of length L becomes two of keep and L-keep; account for
         // the block-rounding delta.
@@ -538,6 +749,7 @@ impl PrefixCache {
                 children: BTreeMap::new(),
                 refs: 0,
                 last_used: 0,
+                hits: 0,
                 dead: true,
             });
             self.nodes.len() - 1
@@ -548,6 +760,7 @@ impl PrefixCache {
             children: BTreeMap::new(),
             refs,
             last_used,
+            hits,
             dead: false,
         };
         let mid_first = self.nodes[mid].seg[0];
@@ -792,6 +1005,80 @@ mod tests {
         assert_eq!(l.tokens(), 0);
         c.release(l);
         c.check_invariants();
+    }
+
+    #[test]
+    fn no_evict_queues_instead_of_recycling() {
+        let mut c = PrefixCache::with_evictor(KvConfig::tiny(8), Box::new(NoEvict));
+        let (a, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+        c.release(a);
+        // Unpinned space exists, but the policy refuses to reclaim it.
+        let err = c.acquire(&[9, 9, 9, 9, 9]).unwrap_err();
+        match err {
+            KvError::InsufficientCapacity { reclaimable, .. } => assert_eq!(reclaimable, 4),
+        }
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4, "old entry survives");
+        assert_eq!(c.evicted_tokens(), 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn prefix_aware_keeps_hot_prefix_over_recent_one_off() {
+        let mut c = PrefixCache::with_evictor(KvConfig::tiny(8), Box::new(PrefixAwareEvictor));
+        // A hot entry, re-walked twice...
+        for _ in 0..3 {
+            let (l, _) = c.acquire(&[1, 2, 3, 4]).unwrap();
+            c.release(l);
+        }
+        // ...then a one-off that is *more recent*.
+        let (b, _) = c.acquire(&[9, 8, 7, 6]).unwrap();
+        c.release(b);
+        // LRU would evict the hot entry here; prefix-aware evicts the
+        // cold one-off despite its recency.
+        let (d, _) = c.acquire(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(c.matched_tokens(&[1, 2, 3, 4]), 4, "hot prefix kept");
+        assert_eq!(c.matched_tokens(&[9, 8, 7, 6]), 0, "cold one-off gone");
+        c.release(d);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn eviction_counter_accumulates_block_rounded() {
+        let mut c = cache(8);
+        let (a, _) = c.acquire(&[1, 2, 3]).unwrap(); // charged 4 (block-rounded)
+        c.release(a);
+        let (b, _) = c.acquire(&[9; 8]).unwrap(); // must evict the 4-token charge
+        assert_eq!(c.evicted_tokens(), 4);
+        c.release(b);
+        assert_eq!(c.evictor_label(), "lru");
+    }
+
+    #[test]
+    fn lru_evictor_matches_legacy_default() {
+        // Same op sequence against the default cache and an explicit
+        // LruEvictor: identical hits, survivors, and accounting.
+        let ops: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 9, 9],
+            vec![7; 8],
+            vec![1, 2, 3, 4, 5],
+            vec![6; 12],
+        ];
+        let mut a = PrefixCache::new(KvConfig::tiny(16));
+        let mut b = PrefixCache::with_evictor(KvConfig::tiny(16), Box::new(LruEvictor));
+        for p in &ops {
+            let ra = a.acquire(p).map(|(l, cached)| {
+                a.release(l);
+                cached
+            });
+            let rb = b.acquire(p).map(|(l, cached)| {
+                b.release(l);
+                cached
+            });
+            assert_eq!(ra, rb);
+            assert_eq!(a.used_tokens(), b.used_tokens());
+            assert_eq!(a.evicted_tokens(), b.evicted_tokens());
+        }
     }
 
     #[test]

@@ -22,15 +22,30 @@
 //! executes one continuous-batching iteration and reports its duration plus
 //! lifecycle events; a driver (discrete-event world or wall-clock thread)
 //! schedules successive steps. Nothing here depends on the balancer.
+//!
+//! The serving loop itself is an open axis: a [`BatchPolicy`] plans each
+//! iteration's admission order, prefill chunking, and preemption, and a
+//! [`KvEvictor`] picks which unpinned cache state dies under memory
+//! pressure. [`Replica::with_engine`] wires both; the defaults
+//! ([`FcfsBatch`] + [`LruEvictor`]) reproduce the historical hardcoded
+//! engine byte-for-byte. See `docs/replica.md` for the recipe.
 
 mod batch;
+mod engine;
 mod kvcache;
 mod request;
 mod timing;
 mod tokenizer;
 
 pub use batch::{Completion, Replica, ReplicaStats, StepOutcome};
-pub use kvcache::{KvConfig, KvError, Lease, PrefixCache};
+pub use engine::{
+    BatchPlan, BatchPolicy, CloneBatchPolicy, EngineSpec, FcfsBatch, PendingView, RunningView,
+    StepView,
+};
+pub use kvcache::{
+    CloneKvEvictor, EvictCandidate, KvConfig, KvError, KvEvictor, Lease, LruEvictor, NoEvict,
+    PrefixAwareEvictor, PrefixCache,
+};
 pub use request::{Request, RequestId};
 pub use timing::GpuProfile;
 pub use tokenizer::{output_token, tokenize, tokenize_words};

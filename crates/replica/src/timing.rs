@@ -21,6 +21,13 @@ pub struct GpuProfile {
     pub prefill_base_us: u64,
     /// Marginal prefill cost per uncached prompt token, in microseconds.
     pub prefill_per_token_us: f64,
+    /// Fixed overhead of a chunked-prefill *continuation* pass, in
+    /// microseconds: re-reading the partially-built KV state and
+    /// relaunching the prefill kernels costs less than a cold pass
+    /// ([`GpuProfile::prefill_base_us`]) but is not free — it is the
+    /// overhead each extra chunk pays, which is why chunk size is a
+    /// trade-off and not a free lunch (see `docs/replica.md`).
+    pub chunk_base_us: u64,
     /// Fixed overhead of one decode iteration, in microseconds.
     pub decode_base_us: u64,
     /// Marginal decode cost per request in the batch, in microseconds.
@@ -42,6 +49,7 @@ impl GpuProfile {
         name: "L4/llama-3.1-8b",
         prefill_base_us: 20_000,
         prefill_per_token_us: 547.0,
+        chunk_base_us: 8_000,
         decode_base_us: 28_000,
         decode_per_request_us: 450.0,
         kv: KvConfig::L4_LLAMA8B,
@@ -55,6 +63,7 @@ impl GpuProfile {
         name: "A100/llama-3.1-8b",
         prefill_base_us: 10_000,
         prefill_per_token_us: 130.0,
+        chunk_base_us: 4_000,
         decode_base_us: 9_000,
         decode_per_request_us: 150.0,
         kv: KvConfig {
@@ -67,13 +76,24 @@ impl GpuProfile {
     /// Prefill time for `uncached_tokens` prompt tokens. Zero uncached
     /// tokens (a full prefix hit) skip the pass entirely.
     pub fn prefill_time(&self, uncached_tokens: u64) -> SimDuration {
-        if uncached_tokens == 0 {
+        self.prefill_pass_time(uncached_tokens, true)
+    }
+
+    /// Time of one prefill pass over `tokens` uncached prompt tokens.
+    /// A `fresh` pass (the first chunk of at least one prompt) pays the
+    /// full [`GpuProfile::prefill_base_us`]; a continuation pass (only
+    /// mid-prompt chunks) pays the cheaper
+    /// [`GpuProfile::chunk_base_us`]. Zero tokens cost nothing.
+    pub fn prefill_pass_time(&self, tokens: u64, fresh: bool) -> SimDuration {
+        if tokens == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_micros(
+        let base = if fresh {
             self.prefill_base_us
-                + (self.prefill_per_token_us * uncached_tokens as f64).round() as u64,
-        )
+        } else {
+            self.chunk_base_us
+        };
+        SimDuration::from_micros(base + (self.prefill_per_token_us * tokens as f64).round() as u64)
     }
 
     /// Duration of one decode iteration over `batch_size` running
@@ -142,6 +162,23 @@ mod tests {
         assert!(a100.prefill_time(512) < l4.prefill_time(512));
         assert!(a100.decode_step_time(8) < l4.decode_step_time(8));
         assert!(a100.kv.capacity_tokens > l4.kv.capacity_tokens);
+    }
+
+    #[test]
+    fn chunk_continuation_cheaper_than_cold_pass() {
+        let p = GpuProfile::L4_LLAMA_8B;
+        assert!(p.prefill_pass_time(128, false) < p.prefill_pass_time(128, true));
+        assert_eq!(p.prefill_pass_time(0, false), SimDuration::ZERO);
+        assert_eq!(p.prefill_pass_time(128, true), p.prefill_time(128));
+        // Chunking a 512-token prompt into 4 passes costs more in total
+        // than one pass (3 extra continuation bases) — the trade-off
+        // chunked prefill buys iteration-length bounds with.
+        let whole = p.prefill_time(512);
+        let chunked = p.prefill_time(128)
+            + p.prefill_pass_time(128, false)
+            + p.prefill_pass_time(128, false)
+            + p.prefill_pass_time(128, false);
+        assert!(chunked > whole);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Pins the default engine (`FcfsBatch` + `LruEvictor`) byte-identical
+//! to the pre-trait `Replica::step` path.
+//!
+//! `reference::OldReplica` below is a line-for-line port of the
+//! historical hardcoded loop (FCFS admission, stop at the first misfit,
+//! full prefill in the admission iteration, LRU eviction inside the
+//! cache), built on the same public `PrefixCache` API. Every seeded
+//! case drives both machines through an identical enqueue/step schedule
+//! and asserts the *entire observable outcome stream* matches:
+//! durations, admitted ids, first tokens, completions, and the final
+//! statistics. Any behavioral drift in the refactored engine fails
+//! here with the step number that diverged.
+
+use skywalker_replica::{
+    Completion, FcfsBatch, GpuProfile, KvConfig, LruEvictor, NoEvict, PrefixAwareEvictor, Replica,
+    ReplicaId, Request, StepOutcome,
+};
+use skywalker_sim::{DetRng, SimDuration};
+
+mod reference {
+    use std::collections::VecDeque;
+
+    use skywalker_replica::{
+        output_token, Completion, GpuProfile, Lease, PrefixCache, Request, StepOutcome,
+    };
+
+    pub struct OldRunning {
+        pub req: Request,
+        pub lease: Lease,
+        pub cached_prompt: u64,
+        pub generated: u32,
+        pub target: u32,
+    }
+
+    /// The pre-trait continuous-batching loop, verbatim.
+    pub struct OldReplica {
+        profile: GpuProfile,
+        cache: PrefixCache,
+        pending: VecDeque<Request>,
+        running: Vec<OldRunning>,
+        private_tokens: u64,
+        reserved_tokens: u64,
+    }
+
+    impl OldReplica {
+        pub fn new(profile: GpuProfile) -> Self {
+            OldReplica {
+                profile,
+                cache: PrefixCache::new(profile.kv),
+                pending: VecDeque::new(),
+                running: Vec::new(),
+                private_tokens: 0,
+                reserved_tokens: 0,
+            }
+        }
+
+        pub fn enqueue(&mut self, req: Request) {
+            self.pending.push_back(req);
+        }
+
+        pub fn is_idle(&self) -> bool {
+            self.pending.is_empty() && self.running.is_empty()
+        }
+
+        pub fn pop_pending_head(&mut self) -> Option<Request> {
+            self.pending.pop_front()
+        }
+
+        fn admission_fits(&self, req: &Request, target: u32) -> bool {
+            let cap = self.profile.kv.capacity_tokens;
+            let cached = self.cache.matched_tokens(&req.prompt);
+            let uncached = req.prompt.len() as u64 - cached;
+            let block = u64::from(self.profile.kv.block_tokens);
+            let prompt_charge = uncached.div_ceil(block.max(1)) * block.max(1) + block;
+            let committed = self.cache.used_tokens() - self.cache.reclaimable_tokens()
+                + self.private_tokens
+                + self.reserved_tokens;
+            committed + prompt_charge + u64::from(target) <= cap
+        }
+
+        pub fn step(&mut self) -> StepOutcome {
+            let mut out = StepOutcome::default();
+            let mut prefill_uncached = 0u64;
+            while self.running.len() < self.profile.max_batch_size as usize {
+                let Some(req) = self.pending.front() else {
+                    break;
+                };
+                let target = req.target_output_tokens.max(1);
+                if !self.admission_fits(req, target) {
+                    break;
+                }
+                let req = self.pending.pop_front().expect("front checked");
+                let (lease, cached) = match self.cache.acquire(&req.prompt) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        self.pending.push_front(req);
+                        break;
+                    }
+                };
+                let uncached = req.prompt.len() as u64 - cached;
+                prefill_uncached += uncached;
+                self.reserved_tokens += u64::from(target);
+                out.admitted.push(req.id);
+                self.running.push(OldRunning {
+                    req,
+                    lease,
+                    cached_prompt: cached,
+                    generated: 0,
+                    target,
+                });
+            }
+
+            if self.running.is_empty() {
+                return out;
+            }
+
+            let mut duration = self.profile.decode_step_time(self.running.len() as u32);
+            if prefill_uncached > 0 {
+                duration += self.profile.prefill_time(prefill_uncached);
+            }
+            out.duration = duration;
+
+            let mut finished = Vec::new();
+            for (i, run) in self.running.iter_mut().enumerate() {
+                if run.generated == 0 {
+                    out.first_tokens.push(run.req.id);
+                }
+                run.generated += 1;
+                self.private_tokens += 1;
+                self.reserved_tokens -= 1;
+                if run.generated >= run.target {
+                    finished.push(i);
+                }
+            }
+            for &i in finished.iter().rev() {
+                let run = self.running.swap_remove(i);
+                let generated_ids: Vec<u32> = (0..run.generated)
+                    .map(|k| output_token(run.req.id.0, k))
+                    .collect();
+                self.private_tokens -= u64::from(run.generated);
+                self.cache.complete(run.lease, &generated_ids);
+                out.completions.push(Completion {
+                    id: run.req.id,
+                    prompt_tokens: run.req.prompt.len() as u32,
+                    cached_prompt_tokens: run.cached_prompt as u32,
+                    generated_tokens: run.generated,
+                });
+            }
+            out
+        }
+    }
+}
+
+/// What both engines must agree on, per step.
+fn digest(out: &StepOutcome) -> (SimDuration, Vec<u64>, Vec<u64>, Vec<Completion>) {
+    (
+        out.duration,
+        out.admitted.iter().map(|r| r.0).collect(),
+        out.first_tokens.iter().map(|r| r.0).collect(),
+        out.completions.clone(),
+    )
+}
+
+fn profile(capacity: u64, max_batch: u32) -> GpuProfile {
+    GpuProfile {
+        name: "parity",
+        prefill_base_us: 1_000,
+        prefill_per_token_us: 100.0,
+        chunk_base_us: 400,
+        decode_base_us: 1_000,
+        decode_per_request_us: 100.0,
+        kv: KvConfig::tiny(capacity),
+        max_batch_size: max_batch,
+    }
+}
+
+/// Random workload: a mix of fresh prompts, shared prefixes, and
+/// follow-up turns reusing generated output — everything the radix tree
+/// branches on.
+fn random_requests(rng: &mut DetRng, n: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            let plen = rng.range(1, 40) as usize;
+            let out = rng.range(1, 16) as u32;
+            let base = rng.below(6) as u32;
+            let prompt: Vec<u32> = match rng.below(3) {
+                0 => (0..plen as u32).map(|t| t + base * 1000).collect(),
+                1 => (0..plen as u32).collect(), // heavy sharing
+                _ => {
+                    let mut p: Vec<u32> = (0..(plen as u32 / 2).max(1)).collect();
+                    p.extend((0..rng.below(4)).map(|k| output_token_of(i, k as u32)));
+                    p
+                }
+            };
+            Request::new(i, format!("u{}", i % 5), prompt, out)
+        })
+        .collect()
+}
+
+fn output_token_of(id: u64, k: u32) -> u32 {
+    skywalker_replica::output_token(id, k)
+}
+
+#[test]
+fn default_engine_matches_legacy_loop_step_for_step() {
+    for case in 0..120u64 {
+        let mut rng = DetRng::for_component(case, "engine-parity/default");
+        let cap = rng.range(32, 512);
+        let max_batch = rng.range(1, 12) as u32;
+        let p = profile(cap, max_batch);
+        let n_reqs = rng.range(1, 25);
+        let reqs = random_requests(&mut rng, n_reqs);
+
+        let mut legacy = reference::OldReplica::new(p);
+        let mut new_default = Replica::new(ReplicaId(0), p);
+        let mut explicit = Replica::with_engine(
+            ReplicaId(1),
+            p,
+            Box::new(FcfsBatch::new()),
+            Box::new(LruEvictor),
+        );
+
+        // Interleave enqueues and steps on a seeded schedule so parity
+        // covers partially-drained states, not just batch drains.
+        let mut queue: std::collections::VecDeque<Request> = reqs.into_iter().collect();
+        let mut step_no = 0u32;
+        let mut guard = 0u32;
+        while (!queue.is_empty() || !legacy.is_idle()) && guard < 10_000 {
+            guard += 1;
+            if !queue.is_empty() && rng.below(2) == 0 {
+                let burst = rng.range(1, 4).min(queue.len() as u64);
+                for _ in 0..burst {
+                    let req = queue.pop_front().expect("burst bounded by len");
+                    legacy.enqueue(req.clone());
+                    new_default.enqueue(req.clone());
+                    explicit.enqueue(req);
+                }
+            }
+            let l = legacy.step();
+            let n = new_default.step();
+            let e = explicit.step();
+            assert_eq!(
+                digest(&l),
+                digest(&n),
+                "case {case}, step {step_no}: Replica::new drifted from the legacy loop"
+            );
+            assert_eq!(
+                digest(&n),
+                digest(&e),
+                "case {case}, step {step_no}: explicit default engine differs from Replica::new"
+            );
+            // Stuck on an oversized head request: both must agree, and
+            // the driver-drop path must stay in lockstep.
+            if l.duration == SimDuration::ZERO && l.admitted.is_empty() && !legacy.is_idle() {
+                let dl = legacy.pop_pending_head();
+                let dn = new_default.pop_pending_head();
+                let de = explicit.pop_pending_head();
+                assert_eq!(dl, dn, "case {case}: dropped heads differ");
+                assert_eq!(dn, de, "case {case}: dropped heads differ");
+            }
+            step_no += 1;
+        }
+        assert!(guard < 10_000, "case {case}: no progress");
+        new_default.cache().check_invariants();
+    }
+}
+
+#[test]
+fn non_default_engines_actually_change_behavior() {
+    // Sanity that the axis is real: under memory pressure at least one
+    // alternative engine must diverge from the default outcome stream.
+    let p = profile(96, 8);
+    let mut rng = DetRng::for_component(7, "engine-parity/divergence");
+    let reqs = random_requests(&mut rng, 24);
+
+    let run = |mut r: Replica| -> Vec<(SimDuration, usize)> {
+        for req in &reqs {
+            r.enqueue(req.clone());
+        }
+        let mut trace = Vec::new();
+        let mut guard = 0;
+        while !r.is_idle() && guard < 10_000 {
+            let out = r.step();
+            if !out.worked() && out.admitted.is_empty() {
+                r.pop_pending_head();
+            }
+            trace.push((out.duration, out.completions.len()));
+            guard += 1;
+        }
+        trace
+    };
+
+    let base = run(Replica::new(ReplicaId(0), p));
+    let chunked = run(Replica::with_engine(
+        ReplicaId(1),
+        p,
+        Box::new(FcfsBatch::chunked(8)),
+        Box::new(LruEvictor),
+    ));
+    let noevict = run(Replica::with_engine(
+        ReplicaId(2),
+        p,
+        Box::new(FcfsBatch::new()),
+        Box::new(NoEvict),
+    ));
+    let prefix = run(Replica::with_engine(
+        ReplicaId(3),
+        p,
+        Box::new(FcfsBatch::new()),
+        Box::new(PrefixAwareEvictor),
+    ));
+    let divergent = [&chunked, &noevict, &prefix]
+        .iter()
+        .filter(|t| ***t != base)
+        .count();
+    assert!(
+        divergent >= 2,
+        "expected at least two alternative engines to diverge under pressure"
+    );
+    // Work conservation regardless of engine: same total completions.
+    let total = |t: &[(SimDuration, usize)]| t.iter().map(|(_, c)| c).sum::<usize>();
+    assert_eq!(total(&base), total(&chunked));
+    assert_eq!(total(&base), total(&prefix));
+}

@@ -26,7 +26,8 @@ use skywalker_fleet::{
 use skywalker_metrics::{peak_gap, RequestTracker, RunReport, TimeSeries};
 use skywalker_net::{DnsResolver, Endpoint, LatencyModel, Region};
 use skywalker_replica::{
-    Completion, GpuProfile, Replica, ReplicaId, ReplicaStats, Request, RequestId,
+    BatchPolicy, Completion, EngineSpec, GpuProfile, KvEvictor, Replica, ReplicaId, ReplicaStats,
+    Request, RequestId,
 };
 use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
 use skywalker_workload::{ClientEvent, ClientListSource, ClientSpec, TrafficSource};
@@ -228,6 +229,11 @@ pub struct Scenario {
     /// joins, drains, crashes, and balancer flaps as sim time advances.
     /// `None` runs a static fleet (plus whatever `faults` injects).
     pub fleet_plan: Option<Box<dyn FleetPlan>>,
+    /// The serving engine every replica runs (batch policy + KV
+    /// evictor), cloned per replica — including replicas a fleet plan
+    /// joins mid-run. `None` runs the default engine (`FcfsBatch` +
+    /// `LruEvictor`, the historical behavior).
+    pub engine: Option<EngineSpec>,
 }
 
 impl Scenario {
@@ -346,6 +352,7 @@ pub struct ScenarioBuilder {
     faults: Vec<FaultEvent>,
     fleet_plan: Option<Box<dyn FleetPlan>>,
     constraint: Option<RoutingConstraint>,
+    engine: Option<EngineSpec>,
 }
 
 impl ScenarioBuilder {
@@ -442,6 +449,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a serving engine: every replica (initial fleet and
+    /// mid-run joins alike) runs a clone of this batch policy + KV
+    /// evictor pair. The engine counterpart of
+    /// [`ScenarioBuilder::policy_factory`],
+    /// [`ScenarioBuilder::traffic_source`], and
+    /// [`ScenarioBuilder::fleet_plan`] — any external [`BatchPolicy`] or
+    /// [`KvEvictor`] implementation plugs in here.
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Replaces only the batch policy of the engine (keeping the
+    /// current — or default — evictor).
+    pub fn batch_policy(mut self, batch: Box<dyn BatchPolicy>) -> Self {
+        self.engine.get_or_insert_with(EngineSpec::default).batch = batch;
+        self
+    }
+
+    /// Replaces only the KV evictor of the engine (keeping the current
+    /// — or default — batch policy).
+    pub fn kv_evictor(mut self, evictor: Box<dyn KvEvictor>) -> Self {
+        self.engine.get_or_insert_with(EngineSpec::default).evictor = evictor;
+        self
+    }
+
     /// Assembles and validates the scenario. Defaults: SkyWalker's
     /// deployment shape if none was set, no faults, built-in policies.
     ///
@@ -481,6 +514,7 @@ impl ScenarioBuilder {
             traffic,
             faults: self.faults,
             fleet_plan: self.fleet_plan,
+            engine: self.engine,
         })
     }
 }
@@ -559,6 +593,14 @@ pub struct RunSummary {
     pub replica_stats: Vec<ReplicaStats>,
     /// Prefix-cache hit rate measured at the replicas.
     pub replica_hit_rate: f64,
+    /// The serving engine's display label (e.g. `"fcfs+lru"`).
+    pub engine_label: String,
+    /// Running decodes preempted by batch policies, fleet-wide.
+    pub preempted: u64,
+    /// Block-rounded KV tokens reclaimed by cache eviction, fleet-wide.
+    pub evicted_tokens: u64,
+    /// Iterations with chunked prefill active, fleet-wide.
+    pub chunked_steps: u64,
     /// Requests forwarded across regions.
     pub forwarded: u64,
     /// Max/min ratio of per-replica dispatch counts (load imbalance).
@@ -760,6 +802,8 @@ struct Fabric {
     /// Randomness stream handed to the plan (separate from the network
     /// stream, so plans cannot perturb latency sampling).
     fleet_rng: DetRng,
+    /// The serving engine cloned into every replica.
+    engine: EngineSpec,
     /// Lifecycle of each deployed replica (indexed like `replicas`).
     replica_health: Vec<ReplicaHealth>,
     /// Per-region serving-replica traces.
@@ -1055,7 +1099,12 @@ impl Fabric {
             }
             FleetEvent::ReplicaJoin { region, profile } => {
                 let rid = ReplicaId(self.replicas.len() as u32);
-                self.replicas.push(Replica::new(rid, profile));
+                self.replicas.push(Replica::with_engine(
+                    rid,
+                    profile,
+                    self.engine.batch.clone(),
+                    self.engine.evictor.clone(),
+                ));
                 self.replica_region.push(region);
                 self.replica_stepping.push(false);
                 self.replica_health.push(ReplicaHealth::Active);
@@ -1239,6 +1288,13 @@ impl World for Fabric {
                             },
                         );
                         return;
+                    }
+                    if out.progressed() {
+                        // A zero-duration step that still changed state
+                        // (a preemption emptied the batch): the
+                        // requeued request is servable — step again
+                        // rather than misread this as a stuck head.
+                        continue;
                     }
                     // Head request can never fit: fail it and keep going.
                     let Some(dropped) = self.replicas[i].pop_pending_head() else {
@@ -1558,13 +1614,22 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         }
     }
 
+    // The serving engine, cloned into every replica (`None` = the
+    // default FCFS + LRU, i.e. the historical hardcoded loop).
+    let engine = scenario.engine.clone().unwrap_or_default();
+
     // Replicas attach to the balancer of their region (or the single
     // centralized balancer).
     let mut replicas: Vec<Replica> = Vec::new();
     let mut replica_region: Vec<Region> = Vec::new();
     for (i, p) in scenario.replicas.iter().enumerate() {
         let rid = ReplicaId(i as u32);
-        replicas.push(Replica::new(rid, p.profile));
+        replicas.push(Replica::with_engine(
+            rid,
+            p.profile,
+            engine.batch.clone(),
+            engine.evictor.clone(),
+        ));
         replica_region.push(p.region);
         let home = match deployment {
             Deployment::Centralized { .. } => 0usize,
@@ -1637,6 +1702,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         forward_enabled,
         plan,
         fleet_rng: DetRng::for_component(cfg.seed, "fabric/fleet"),
+        engine,
         replica_health: vec![ReplicaHealth::Active; n_replicas],
         fleet_sizes,
         joins: 0,
@@ -1724,6 +1790,10 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         final_replicas,
     };
 
+    let preempted: u64 = replica_stats.iter().map(|s| s.preempted).sum();
+    let evicted_tokens: u64 = replica_stats.iter().map(|s| s.evicted_tokens).sum();
+    let chunked_steps: u64 = replica_stats.iter().map(|s| s.chunked_steps).sum();
+
     RunSummary {
         label: scenario.label.clone(),
         system: scenario.system,
@@ -1734,6 +1804,10 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         } else {
             0.0
         },
+        engine_label: world.engine.label(),
+        preempted,
+        evicted_tokens,
+        chunked_steps,
         replica_stats,
         forwarded,
         dispatch_imbalance,

@@ -85,7 +85,7 @@
 //!
 //! ## Extending
 //!
-//! All three experiment axes are open:
+//! All four experiment axes are open:
 //!
 //! - **Routing**: implement [`RoutingPolicy`](core::RoutingPolicy) (one
 //!   required method) and a [`PolicyFactory`](core::PolicyFactory), hand
@@ -107,6 +107,16 @@
 //!   and [`ThresholdAutoscaler`] are the built-ins; recipe in
 //!   `docs/fleet.md`; [`PredictiveAutoscaler`] (diurnal-aware
 //!   pre-provisioning) is the worked example outside the fleet crate.
+//! - **Serving engine**: implement [`BatchPolicy`] (per-iteration
+//!   admission order, prefill chunking, preemption) and/or
+//!   [`KvEvictor`] (which unpinned prefix-cache state dies under
+//!   memory pressure), bundle them in an [`EngineSpec`], and hand it
+//!   to [`ScenarioBuilder::engine`] — every replica, including mid-run
+//!   fleet joins, runs a clone. [`FcfsBatch`] + [`LruEvictor`] are the
+//!   (byte-identical-to-history) defaults; recipe in `docs/replica.md`;
+//!   [`ShortestPromptFirst`] is the worked example outside the replica
+//!   crate, and `examples/engine_shootout.rs` races engines under the
+//!   [`memory_pressure_scenario`] preset.
 //!
 //! And once cells exist on any axis, `skywalker-lab` sweeps their cross
 //! product — policy × workload × fleet × seed — across OS threads with
@@ -117,6 +127,7 @@ pub mod autoscale;
 pub mod fabric;
 mod p2c;
 pub mod scenarios;
+mod sjf;
 pub mod sources;
 
 pub use autoscale::{PredictiveAutoscaler, PredictiveConfig};
@@ -128,12 +139,18 @@ pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
     balanced_fleet, diurnal_recipe, diurnal_reference_predictive, diurnal_reference_reactive,
     equal_cost_lite_fleet, fig10_diurnal_scenario, fig10_scenario, fig8_recipe, fig8_scenario,
-    fig9_scenario, l4_fleet, lite_fleet, trio_diurnal_profiles, unbalanced_fleet, workload_clients,
-    Workload, L4_LITE, REGIONS,
+    fig9_scenario, l4_fleet, lite_fleet, memory_pressure_recipe, memory_pressure_scenario,
+    trio_diurnal_profiles, unbalanced_fleet, workload_clients, Workload, L4_LITE, L4_PRESSURE,
+    REGIONS,
 };
+pub use sjf::ShortestPromptFirst;
 pub use skywalker_fleet::{
     AutoscalerConfig, ChaosConfig, ChaosPlan, FleetCommand, FleetEvent, FleetObservation,
     FleetPlan, MergePlan, ScheduledPlan, ThresholdAutoscaler,
+};
+pub use skywalker_replica::{
+    BatchPlan, BatchPolicy, EngineSpec, EvictCandidate, FcfsBatch, KvEvictor, LruEvictor, NoEvict,
+    PendingView, PrefixAwareEvictor, RunningView, StepView,
 };
 pub use sources::{DiurnalSource, FlashCrowdSource, RagCorpusConfig, RagCorpusSource};
 pub use workload::{

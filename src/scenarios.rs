@@ -15,19 +15,19 @@
 //!   heterogeneous-program stressor.
 
 use skywalker_net::Region;
-use skywalker_replica::{GpuProfile, KvConfig};
+use skywalker_replica::{EngineSpec, GpuProfile, KvConfig};
 use skywalker_sim::SimDuration;
 use skywalker_workload::{
     drain, fig3_regions, generate_conversation_clients, generate_tot_clients, ClientSpec,
-    ConversationConfig, ConversationSource, DiurnalProfile, IdGen, MergeSource, TotConfig,
-    TotSource, TrafficSource,
+    ConversationConfig, ConversationSource, DiurnalProfile, IdGen, LengthModel, MergeSource,
+    TotConfig, TotSource, TrafficSource,
 };
 
 use skywalker_fleet::AutoscalerConfig;
 
 use crate::autoscale::PredictiveConfig;
 use crate::fabric::{FabricConfig, ReplicaPlacement, Scenario, ScenarioBuilder, SystemKind};
-use crate::sources::DiurnalSource;
+use crate::sources::{DiurnalSource, RagCorpusConfig, RagCorpusSource};
 
 /// The paper's three serving regions.
 pub const REGIONS: [Region; 3] = Region::PAPER_TRIO;
@@ -254,6 +254,7 @@ pub const L4_LITE: GpuProfile = GpuProfile {
     name: "L4-lite/llama-3.1-8b",
     prefill_base_us: 20_000,
     prefill_per_token_us: 547.0,
+    chunk_base_us: 8_000,
     decode_base_us: 28_000,
     decode_per_request_us: 450.0,
     kv: KvConfig {
@@ -322,6 +323,96 @@ pub fn fig10_diurnal_scenario(
         .label(format!("{} (diurnal)", system.label()))
         .build()
         .expect("fig10 diurnal presets set a fleet and traffic")
+}
+
+/// An L4-timed replica whose KV cache is starved to ~1/24 of the real
+/// geometry: the [`memory_pressure_scenario`] hardware. With ~2 k KV
+/// tokens against a hot 8-document corpus of 256-token prefixes, demand
+/// permanently exceeds capacity — admission queues form, eviction churns
+/// on every acquire, and serving-engine choices (admission order,
+/// chunked prefill, eviction policy) dominate the latency distribution
+/// instead of routing.
+pub const L4_PRESSURE: GpuProfile = GpuProfile {
+    name: "L4-pressure/llama-3.1-8b",
+    prefill_base_us: 20_000,
+    prefill_per_token_us: 547.0,
+    chunk_base_us: 8_000,
+    decode_base_us: 28_000,
+    decode_per_request_us: 450.0,
+    kv: KvConfig {
+        capacity_tokens: 2_048,
+        block_tokens: 16,
+    },
+    max_batch_size: 16,
+};
+
+/// The memory-pressure preset: a single-region, two-replica
+/// [`L4_PRESSURE`] fleet serving RAG traffic over a hot shared corpus
+/// whose working set alone fills one replica's KV cache. This is the
+/// scenario where engines *measurably diverge* — run it across
+/// [`EngineSpec`]s (`examples/engine_shootout.rs`) and P90 TTFT and the
+/// replica hit ratio split by engine, because the bottleneck is the
+/// serving loop, not the wide-area routing the other presets stress.
+///
+/// `scale` thins the user population (1.0 ≈ 40 users); the engine label
+/// lands in the scenario label, so shootout tables and goldens
+/// self-describe.
+pub fn memory_pressure_scenario(engine: EngineSpec, scale: f64, seed: u64) -> Scenario {
+    let region = REGIONS[0];
+    let users = ((40.0 * scale).round() as u32).max(2);
+    let cfg = RagCorpusConfig {
+        corpus_docs: 8,
+        doc_tokens: 256,
+        doc_zipf: 1.2,
+        query_tokens: LengthModel {
+            mu: 3.0,
+            sigma: 0.6,
+            min: 4,
+            max: 64,
+        },
+        answer_tokens: LengthModel {
+            mu: 4.0,
+            sigma: 0.6,
+            min: 8,
+            max: 160,
+        },
+        queries_per_user: (3, 8),
+    };
+    let label = format!("memory-pressure/{}", engine.label());
+    SystemKind::SkyWalker
+        .builder()
+        .replicas(vec![
+            ReplicaPlacement {
+                region,
+                profile: L4_PRESSURE,
+            };
+            2
+        ])
+        .traffic_source(Box::new(RagCorpusSource::new(
+            cfg,
+            vec![(region, users)],
+            seed,
+        )))
+        .engine(engine)
+        .label(label)
+        .build()
+        .expect("memory-pressure preset sets a fleet and traffic")
+}
+
+/// A seed-parametric recipe of the memory-pressure preset — the
+/// sweep-harness counterpart of [`fig8_recipe`] for engine grids
+/// (`SweepSpec::engine_cells` builds exactly these).
+pub fn memory_pressure_recipe(
+    engine: EngineSpec,
+    scale: f64,
+) -> impl Fn(u64) -> (Scenario, FabricConfig) + Clone + Send + Sync + 'static {
+    move |seed| {
+        let cfg = FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        };
+        (memory_pressure_scenario(engine.clone(), scale, seed), cfg)
+    }
 }
 
 /// A seed-parametric recipe of one Fig. 8 grid cell, shaped for a sweep

@@ -1,0 +1,226 @@
+//! Request-accounting conservation across the paths that can lose work:
+//! chaos crashes (`fail_all` + reroute), autoscaler churn (joins and
+//! drains mid-run), and serving-engine pressure (eviction refusals,
+//! preemption, oversized drops).
+//!
+//! The law under test, for every run that drains its (finite) source:
+//!
+//! ```text
+//! injected == completed + failed + in-flight-at-end
+//! retried  <= injected
+//! ```
+//!
+//! where `injected` is the total request count the traffic source
+//! generates — computed independently by materializing a clone of the
+//! source, so the fabric cannot grade its own homework. Crash, preempt,
+//! and evict paths each open a different accounting gap if they drop a
+//! lease or a tracker record; this suite closes all three.
+
+use skywalker::sim::{SimDuration, SimTime};
+use skywalker::{
+    balanced_fleet, lite_fleet, memory_pressure_scenario, run_scenario, workload_clients,
+    AutoscalerConfig, BatchPlan, BatchPolicy, ChaosConfig, ChaosPlan, EngineSpec, FabricConfig,
+    FcfsBatch, FlashCrowdSource, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary, Scenario,
+    ShortestPromptFirst, StepView, SystemKind, ThresholdAutoscaler, Workload, L4_LITE, REGIONS,
+};
+
+/// Independently materializes the scenario's traffic and counts every
+/// request it will ever inject. Only valid for finite sources.
+fn injected(scenario: &Scenario) -> u64 {
+    scenario
+        .clients_until(SimTime::MAX)
+        .iter()
+        .map(|c| c.total_requests() as u64)
+        .sum()
+}
+
+fn assert_conserved(tag: &str, expected: u64, s: &RunSummary) {
+    let accounted = s.report.completed + s.report.failed + s.report.in_flight;
+    assert_eq!(
+        accounted, expected,
+        "{tag}: injected {expected} != completed {} + failed {} + in-flight {}",
+        s.report.completed, s.report.failed, s.report.in_flight
+    );
+    assert!(
+        s.report.retried <= expected,
+        "{tag}: retried {} exceeds injected {expected}",
+        s.report.retried
+    );
+}
+
+/// Chaos churn: crashes fail or reroute in-flight work; nothing may
+/// vanish from the ledger, under the default engine *and* a preemptive
+/// one (crash-during-preemption is the nastiest interleaving).
+#[test]
+fn chaos_runs_conserve_requests() {
+    for (tag, engine) in [
+        ("chaos/default", EngineSpec::default()),
+        (
+            "chaos/preemptive",
+            EngineSpec::new(
+                Box::new(FcfsBatch::new().with_preemption(0.9)),
+                Box::new(LruEvictor),
+            ),
+        ),
+    ] {
+        let seed = 47;
+        let chaos = ChaosPlan::new(
+            ChaosConfig {
+                mtbf: SimDuration::from_secs(25),
+                mttr: SimDuration::from_secs(15),
+                min_live_per_region: 1,
+                ..ChaosConfig::default()
+            },
+            seed,
+        );
+        let scenario = SystemKind::SkyWalker
+            .builder()
+            .replicas(balanced_fleet())
+            .clients(workload_clients(Workload::WildChat, 0.1, seed))
+            .fleet_plan(Box::new(chaos))
+            .engine(engine)
+            .build()
+            .expect("fleet and clients are set");
+        let expected = injected(&scenario);
+        assert!(expected > 0);
+        let s = run_scenario(&scenario, &FabricConfig::default());
+        assert_conserved(tag, expected, &s);
+    }
+}
+
+/// Autoscaler churn: a flash crowd forces scale-out then scale-in;
+/// joins and drains must not strand or duplicate requests.
+#[test]
+fn autoscaler_run_conserves_requests() {
+    let seed = 11;
+    let source = FlashCrowdSource::new(
+        vec![(REGIONS[0], 2), (REGIONS[1], 2)],
+        REGIONS[0],
+        12,
+        SimTime::from_secs(10),
+        seed,
+    );
+    let autoscaler = ThresholdAutoscaler::new(AutoscalerConfig {
+        min_per_region: 1,
+        max_per_region: 5,
+        scale_out_load: 2.0,
+        scale_in_load: 0.5,
+        cooldown: SimDuration::from_secs(10),
+        provision_delay: SimDuration::from_secs(5),
+        profile: L4_LITE,
+    });
+    let scenario = SystemKind::SkyWalker
+        .builder()
+        .replicas(lite_fleet(&[(REGIONS[0], 1), (REGIONS[1], 1)]))
+        .traffic_source(Box::new(source))
+        .fleet_plan(Box::new(autoscaler))
+        .build()
+        .expect("fleet and traffic are set");
+    let expected = injected(&scenario);
+    assert!(expected > 0);
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    assert!(
+        s.fleet.joins > 0,
+        "flash crowd should have forced a scale-out (joins = 0)"
+    );
+    assert_conserved("autoscaler/flash-crowd", expected, &s);
+}
+
+/// A pathological external policy: periodically preempts the *entire*
+/// batch and admits nothing, producing the zero-duration,
+/// batch-emptying steps that must read as progress (requeued work),
+/// never as a stuck pending head the fabric may fail. Storms are
+/// spaced wider than the longest decode (preemption discards generated
+/// output, so a storm cadence shorter than the output length would
+/// legitimately starve completion — policy pathology, not an
+/// accounting bug).
+#[derive(Debug, Clone)]
+struct PreemptStorm {
+    calls: u64,
+}
+
+impl BatchPolicy for PreemptStorm {
+    fn plan(&mut self, view: &StepView<'_>) -> BatchPlan {
+        self.calls += 1;
+        let mut plan = BatchPlan::fcfs(view.pending.len());
+        if self.calls.is_multiple_of(400) && !view.running.is_empty() {
+            plan.admit_order.clear();
+            plan.preempt = (0..view.running.len()).collect();
+        }
+        plan
+    }
+
+    fn label(&self) -> String {
+        "preempt-storm".to_string()
+    }
+}
+
+/// Whole-batch preemption storms through the fabric: every preempted
+/// request is requeued and served — nothing is spuriously failed, and
+/// the ledger still balances.
+#[test]
+fn preempt_storm_conserves_and_fails_nothing() {
+    let engine = EngineSpec::new(Box::new(PreemptStorm { calls: 0 }), Box::new(LruEvictor));
+    let scenario = memory_pressure_scenario(engine, 0.25, 9);
+    let expected = injected(&scenario);
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    assert!(s.preempted > 0, "the storm must actually preempt");
+    assert_eq!(
+        s.report.failed, 0,
+        "a preempted-and-requeued request must never be counted failed"
+    );
+    assert_conserved("preempt-storm", expected, &s);
+    assert_eq!(s.report.completed, expected);
+}
+
+/// Engine pressure: every serving engine — including the one that
+/// refuses eviction and therefore *fails* work — accounts for each
+/// injected request exactly once.
+#[test]
+fn memory_pressure_engines_conserve_requests() {
+    let engines = [
+        ("mp/default", EngineSpec::default()),
+        (
+            "mp/chunked",
+            EngineSpec::new(Box::new(FcfsBatch::chunked(64)), Box::new(LruEvictor)),
+        ),
+        (
+            "mp/preemptive",
+            EngineSpec::new(
+                Box::new(FcfsBatch::new().with_preemption(0.9)),
+                Box::new(LruEvictor),
+            ),
+        ),
+        (
+            "mp/sjf-prefix",
+            EngineSpec::new(
+                Box::new(ShortestPromptFirst::new()),
+                Box::new(PrefixAwareEvictor),
+            ),
+        ),
+        (
+            "mp/noevict",
+            EngineSpec::new(Box::new(FcfsBatch::new()), Box::new(NoEvict)),
+        ),
+    ];
+    let mut failures_seen = 0u64;
+    let mut preemptions_seen = 0u64;
+    for (tag, engine) in engines {
+        let scenario = memory_pressure_scenario(engine, 0.4, 3);
+        let expected = injected(&scenario);
+        assert!(expected > 0);
+        let s = run_scenario(&scenario, &FabricConfig::default());
+        assert_conserved(tag, expected, &s);
+        failures_seen += s.report.failed;
+        preemptions_seen += s.preempted;
+    }
+    // The suite only proves something if the lossy paths actually ran.
+    assert!(
+        failures_seen > 0,
+        "no engine failed work — the eviction-refusal path went unexercised"
+    );
+    assert!(
+        preemptions_seen > 0,
+        "no engine preempted — the preemption path went unexercised"
+    );
+}

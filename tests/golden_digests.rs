@@ -1,0 +1,219 @@
+//! Golden-run regression harness for the four-axis cross-product.
+//!
+//! Every preset family — the eight `SystemKind`s, the four workloads,
+//! the figure scenarios, and the new `memory_pressure` engine preset —
+//! runs at two seeds; each `RunSummary` is digested into a stable JSON
+//! row via `skywalker_metrics::json` and compared byte-for-byte against
+//! the committed files under `tests/golden/`. Any behavioral drift
+//! anywhere in the stack (routing, traffic, fleet, serving engine,
+//! metrics) now fails CI with a readable first-difference diff instead
+//! of sailing through.
+//!
+//! The whole pipeline is deterministic by construction (integer sim
+//! time, seeded RNG streams, sorted-histogram aggregation), so exact
+//! float equality is the right bar — looser comparisons would let real
+//! drift hide inside the tolerance.
+//!
+//! To refresh after an *intentional* behavior change:
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test --test golden_digests
+//! ```
+//! then commit the diff under `tests/golden/` alongside the change that
+//! explains it.
+
+use skywalker::{
+    fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario, run_scenario,
+    EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary,
+    Scenario, ShortestPromptFirst, SystemKind, Workload,
+};
+use skywalker_metrics::json::{Report, Val};
+
+const SEEDS: [u64; 2] = [1, 2];
+
+/// One golden cell: a tag and a seed-parametric scenario builder.
+type GoldenCell = (String, Box<dyn Fn(u64) -> Scenario>);
+
+fn digest_row(tag: &str, seed: u64, s: &RunSummary) -> Vec<(String, Val)> {
+    let r = &s.report;
+    [
+        ("tag", Val::from(tag)),
+        ("seed", Val::from(seed)),
+        ("label", Val::from(s.label.clone())),
+        ("engine", Val::from(s.engine_label.clone())),
+        ("completed", Val::from(r.completed)),
+        ("failed", Val::from(r.failed)),
+        ("retried", Val::from(r.retried)),
+        ("in_flight", Val::from(r.in_flight)),
+        ("prompt_tokens", Val::from(r.prompt_tokens)),
+        ("cached_prompt_tokens", Val::from(r.cached_prompt_tokens)),
+        ("generated_tokens", Val::from(r.generated_tokens)),
+        ("tok_s", Val::from(r.throughput_tps)),
+        ("client_hit_rate", Val::from(r.cache_hit_rate)),
+        ("replica_hit_rate", Val::from(s.replica_hit_rate)),
+        ("ttft_p50_s", Val::from(r.ttft.p50)),
+        ("ttft_p90_s", Val::from(r.ttft.p90)),
+        ("ttft_mean_s", Val::from(r.ttft.mean)),
+        ("e2e_p50_s", Val::from(r.e2e.p50)),
+        ("e2e_p90_s", Val::from(r.e2e.p90)),
+        ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+        ("forwarded", Val::from(s.forwarded)),
+        ("peak_lb_queue", Val::from(s.peak_lb_queue)),
+        ("dispatch_imbalance", Val::from(s.dispatch_imbalance)),
+        ("preempted", Val::from(s.preempted)),
+        ("evicted_tokens", Val::from(s.evicted_tokens)),
+        ("chunked_steps", Val::from(s.chunked_steps)),
+        ("fleet_joins", Val::from(s.fleet.joins)),
+        ("fleet_crashes", Val::from(s.fleet.crashes)),
+        ("fleet_mean", Val::from(s.fleet.mean_total())),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+fn run_group(name: &str, cells: Vec<GoldenCell>) {
+    let mut rep = Report::new(format!("golden_{name}"));
+    rep.meta("seeds", format!("{SEEDS:?}"));
+    for (tag, build) in &cells {
+        for seed in SEEDS {
+            let scenario = build(seed);
+            let cfg = FabricConfig {
+                seed,
+                ..FabricConfig::default()
+            };
+            let summary = run_scenario(&scenario, &cfg);
+            let fields = digest_row(tag, seed, &summary);
+            let refs: Vec<(&str, Val)> = fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            rep.row(&refs);
+        }
+    }
+    compare_or_update(name, &rep.render());
+}
+
+/// Byte-compares the rendered report against `tests/golden/{name}.json`,
+/// printing the first differing line on mismatch; `UPDATE_GOLDENS=1`
+/// rewrites the file instead.
+fn compare_or_update(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"));
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        println!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test golden_digests \
+             and commit the result",
+            path.display()
+        )
+    });
+    if expected == rendered {
+        return;
+    }
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let got_lines: Vec<&str> = rendered.lines().collect();
+    for i in 0..exp_lines.len().max(got_lines.len()) {
+        let e = exp_lines.get(i).copied().unwrap_or("<missing>");
+        let g = got_lines.get(i).copied().unwrap_or("<missing>");
+        if e != g {
+            panic!(
+                "golden {name} drifted at line {}:\n  expected: {e}\n  got:      {g}\n\
+                 If this change is intentional, refresh with \
+                 UPDATE_GOLDENS=1 cargo test --test golden_digests and commit the diff.",
+                i + 1
+            );
+        }
+    }
+    panic!("golden {name} drifted (line endings?)");
+}
+
+type CellList = Vec<GoldenCell>;
+
+/// All eight deployment presets on one workload: routing-axis coverage.
+#[test]
+fn golden_systems() {
+    let mut cells: CellList = Vec::new();
+    let mut systems = SystemKind::FIG8.to_vec();
+    systems.push(SystemKind::RegionLocal);
+    for system in systems {
+        cells.push((
+            system.label().to_string(),
+            Box::new(move |seed| fig8_scenario(system, Workload::Tot, 0.02, seed)),
+        ));
+    }
+    run_group("systems", cells);
+}
+
+/// All four paper workloads on SkyWalker: traffic-axis coverage.
+#[test]
+fn golden_workloads() {
+    let cells: CellList = Workload::ALL
+        .into_iter()
+        .map(|w| {
+            (
+                w.label().to_string(),
+                Box::new(move |seed| fig8_scenario(SystemKind::SkyWalker, w, 0.02, seed))
+                    as Box<dyn Fn(u64) -> Scenario>,
+            )
+        })
+        .collect();
+    run_group("workloads", cells);
+}
+
+/// The figure presets (single-region micro, diurnal-imbalance macro).
+#[test]
+fn golden_figures() {
+    let cells: CellList = vec![
+        (
+            "fig9".to_string(),
+            Box::new(|seed| fig9_scenario(SystemKind::SkyWalker, 2, 6, seed)),
+        ),
+        (
+            "fig10".to_string(),
+            Box::new(|seed| fig10_scenario(SystemKind::SkyWalker, 4, 0.05, seed)),
+        ),
+    ];
+    run_group("figures", cells);
+}
+
+/// The memory-pressure preset across engines: serving-engine-axis
+/// coverage (incl. the default engine, whose rows double as the
+/// byte-level pin of FCFS+LRU at fabric scope).
+#[test]
+fn golden_memory_pressure() {
+    type EngineMaker = fn() -> EngineSpec;
+    let engines: Vec<(&str, EngineMaker)> = vec![
+        ("default", EngineSpec::default),
+        ("chunked", || {
+            EngineSpec::new(Box::new(FcfsBatch::chunked(64)), Box::new(LruEvictor))
+        }),
+        ("sjf-prefix", || {
+            EngineSpec::new(
+                Box::new(ShortestPromptFirst::new()),
+                Box::new(PrefixAwareEvictor),
+            )
+        }),
+        ("noevict", || {
+            EngineSpec::new(Box::new(FcfsBatch::new()), Box::new(NoEvict))
+        }),
+    ];
+    let cells: CellList = engines
+        .into_iter()
+        .map(|(tag, mk)| {
+            (
+                tag.to_string(),
+                Box::new(move |seed| memory_pressure_scenario(mk(), 0.25, seed))
+                    as Box<dyn Fn(u64) -> Scenario>,
+            )
+        })
+        .collect();
+    run_group("memory_pressure", cells);
+}
