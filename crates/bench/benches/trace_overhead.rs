@@ -1,0 +1,141 @@
+//! What tracing costs: the per-event price of [`TraceRecorder::record`]
+//! and the end-to-end wall-clock overhead of running a preset with the
+//! recorder attached.
+//!
+//! Two measurements, because they answer different questions:
+//!
+//! - `trace/record_*`: the micro price of one `record` call (push onto a
+//!   bounded `Vec`, or bump the drop counter once full). This is the
+//!   number to quote when asking "can the fabric afford to call this on
+//!   every milestone?".
+//! - `memory_pressure` wall-clock: the same preset run untraced and
+//!   traced, interleaved, min-of-N each. The difference divided by the
+//!   events recorded gives the *amortized* ns/event — the micro price
+//!   plus whatever the fabric pays to assemble event payloads (eviction
+//!   deltas, per-step admission scans) that it skips entirely when the
+//!   recorder is off.
+//!
+//! Emits `BENCH_trace_overhead.json` next to the other bench artifacts.
+
+use std::time::Instant;
+
+use skywalker::{memory_pressure_scenario, run_scenario, EngineSpec, FabricConfig, TraceConfig};
+use skywalker_bench::json::{Report, Val};
+use skywalker_bench::micro::{bench, black_box};
+use skywalker_sim::SimTime;
+use skywalker_trace::{TraceEventKind, TraceRecorder};
+
+/// Micro-benchmarks of the raw `record` call: the stored-event fast path
+/// and the counted-drop path a full buffer degrades to.
+fn bench_record(rep: &mut Report) {
+    // Stored path. The buffer is recycled every `CAP` calls so the timed
+    // loop measures real pushes (including the Vec's amortized growth,
+    // which the fabric pays too — the recorder sizes itself lazily)
+    // rather than the drop counter.
+    const CAP: usize = 1 << 20;
+    let cfg = TraceConfig::with_capacity(CAP);
+    let mut rec = TraceRecorder::new(cfg);
+    let mut i: u64 = 0;
+    let ns_store = bench("trace/record_stored", || {
+        if rec.len() == CAP {
+            rec = TraceRecorder::new(cfg);
+        }
+        rec.record(
+            SimTime::from_micros(i),
+            black_box(TraceEventKind::FirstToken { req: i, replica: 3 }),
+        );
+        i += 1;
+    });
+    rep.row(&[
+        ("name", Val::from("trace/record_stored")),
+        ("ns_per_iter", Val::from(ns_store)),
+    ]);
+
+    // Drop path: capacity 0, every call just bumps the counter. This is
+    // the floor an overflowed run pays for the rest of its events.
+    let mut full = TraceRecorder::new(TraceConfig::with_capacity(0));
+    let mut j: u64 = 0;
+    let ns_drop = bench("trace/record_dropped", || {
+        full.record(
+            SimTime::from_micros(j),
+            black_box(TraceEventKind::Issued { req: j }),
+        );
+        j += 1;
+    });
+    rep.row(&[
+        ("name", Val::from("trace/record_dropped")),
+        ("ns_per_iter", Val::from(ns_drop)),
+    ]);
+    black_box(full.dropped_events());
+}
+
+const SCALE: f64 = 1.0;
+
+/// Runs `memory_pressure` once and returns (wall seconds, events
+/// recorded). Traced runs assert the buffer did not overflow — an
+/// overflowed run would under-count the work and flatter the overhead.
+fn one_run(traced: bool, seed: u64) -> (f64, u64) {
+    let scenario = memory_pressure_scenario(EngineSpec::default(), SCALE, seed);
+    let cfg = FabricConfig {
+        seed,
+        trace: traced.then(TraceConfig::default),
+        ..FabricConfig::default()
+    };
+    let start = Instant::now();
+    let summary = run_scenario(&scenario, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    let events = summary.trace.as_ref().map_or(0, |t| {
+        assert!(t.complete(), "recorder overflowed mid-benchmark");
+        t.events.len() as u64
+    });
+    black_box(summary.report.completed);
+    (secs, events)
+}
+
+/// The end-to-end comparison: min-of-N wall clock, untraced vs traced,
+/// interleaved so thermal/frequency drift hits both arms alike.
+fn bench_scenario_overhead(rep: &mut Report) {
+    const REPS: usize = 12;
+    const SEED: u64 = 2;
+
+    // Warm-up: one run of each arm, unmeasured.
+    one_run(false, SEED);
+    one_run(true, SEED);
+
+    let mut untraced = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..REPS {
+        untraced = untraced.min(one_run(false, SEED).0);
+        let (t, ev) = one_run(true, SEED);
+        traced = traced.min(t);
+        events = ev;
+    }
+
+    let overhead_pct = 100.0 * (traced - untraced) / untraced;
+    let amortized_ns = (traced - untraced) * 1e9 / events as f64;
+    println!(
+        "memory_pressure scale {SCALE} seed {SEED}: untraced {:.2} ms, traced {:.2} ms \
+         ({overhead_pct:+.1}%), {events} events, {amortized_ns:.1} ns/event amortized",
+        untraced * 1e3,
+        traced * 1e3,
+    );
+    rep.row(&[
+        ("name", Val::from("memory_pressure/trace_overhead")),
+        ("untraced_ms", Val::from(untraced * 1e3)),
+        ("traced_ms", Val::from(traced * 1e3)),
+        ("overhead_pct", Val::from(overhead_pct)),
+        ("events", Val::from(events)),
+        ("amortized_ns_per_event", Val::from(amortized_ns)),
+    ]);
+}
+
+fn main() {
+    let mut rep = Report::new("trace_overhead");
+    rep.meta("preset", "memory_pressure scale=1.0 seed=2");
+    bench_record(&mut rep);
+    bench_scenario_overhead(&mut rep);
+    if let Err(e) = rep.write("BENCH_trace_overhead.json") {
+        eprintln!("could not write BENCH_trace_overhead.json: {e}");
+    }
+}

@@ -88,6 +88,8 @@ impl SweepResult {
                 mean: 100.0 * st.hit_rate.mean,
                 min: 100.0 * st.hit_rate.min,
                 max: 100.0 * st.hit_rate.max,
+                p50: 100.0 * st.hit_rate.p50,
+                p90: 100.0 * st.hit_rate.p90,
             };
             let _ = writeln!(
                 out,

@@ -20,6 +20,8 @@ struct Record {
     completed: Option<SimTime>,
     failed: bool,
     retried: bool,
+    retries: u32,
+    hops: Option<u8>,
     prompt_tokens: u64,
     cached_prompt_tokens: u64,
     generated_tokens: u64,
@@ -77,6 +79,8 @@ impl RequestTracker {
                 completed: None,
                 failed: false,
                 retried: false,
+                retries: 0,
+                hops: None,
                 prompt_tokens,
                 cached_prompt_tokens: 0,
                 generated_tokens: 0,
@@ -123,11 +127,38 @@ impl RequestTracker {
     /// Unknown, completed, and failed ids are ignored.
     pub fn retry(&mut self, id: u64) {
         if let Some(r) = self.records.get_mut(&id) {
-            if r.completed.is_none() && !r.failed && !r.retried {
-                r.retried = true;
-                self.retried += 1;
+            if r.completed.is_none() && !r.failed {
+                r.retries += 1;
+                if !r.retried {
+                    r.retried = true;
+                    self.retried += 1;
+                }
             }
         }
+    }
+
+    /// Records the hop count a request carried when a balancer accepted
+    /// it. A request can pass several balancers (selective pushing
+    /// forwards it with `hops + 1`); the largest observation wins, so
+    /// the recorded value is the full length of the forwarding chain.
+    /// Unknown ids are ignored.
+    pub fn record_hops(&mut self, id: u64, hops: u8) {
+        if let Some(r) = self.records.get_mut(&id) {
+            r.hops = Some(r.hops.map_or(hops, |h| h.max(hops)));
+        }
+    }
+
+    /// The forwarding-chain length recorded for `id`, or `None` if the
+    /// request never reached a balancer (or was never registered).
+    pub fn hops_of(&self, id: u64) -> Option<u8> {
+        self.records.get(&id).and_then(|r| r.hops)
+    }
+
+    /// How many times `id` bounced onto another path (0 if never, or if
+    /// the id was never registered). Unlike [`RunReport::retried`],
+    /// this counts *events*, not requests.
+    pub fn retries_of(&self, id: u64) -> u32 {
+        self.records.get(&id).map_or(0, |r| r.retries)
     }
 
     /// The outcome of a tracked request, or `None` if never registered.
@@ -162,15 +193,21 @@ impl RequestTracker {
     pub fn report(&self, run_end: SimTime) -> RunReport {
         let mut ttft = Histogram::new();
         let mut e2e = Histogram::new();
+        let mut hops = Histogram::new();
         let mut completed = 0u64;
         let mut in_flight = 0u64;
         let mut prompt_tokens = 0u64;
         let mut cached_tokens = 0u64;
         let mut generated_tokens = 0u64;
+        let mut retry_events = 0u64;
         for r in self.records.values() {
             if let Some(ft) = r.first_token {
                 ttft.record(ft.saturating_since(r.arrived).as_secs_f64());
             }
+            if let Some(h) = r.hops {
+                hops.record(h as f64);
+            }
+            retry_events += r.retries as u64;
             match r.completed {
                 Some(done) => {
                     completed += 1;
@@ -190,6 +227,7 @@ impl RequestTracker {
             in_flight,
             failed: self.failed,
             retried: self.retried,
+            retry_events,
             prompt_tokens,
             cached_prompt_tokens: cached_tokens,
             generated_tokens,
@@ -211,6 +249,10 @@ impl RequestTracker {
                 let mut h = e2e;
                 h.summary()
             },
+            hops: {
+                let mut h = hops;
+                h.summary()
+            },
         }
     }
 }
@@ -229,6 +271,11 @@ pub struct RunReport {
     /// requests, not bounce events, so the number is comparable across
     /// retry-delay configurations.
     pub retried: u64,
+    /// Total retry *events* across all requests — the companion to
+    /// [`retried`](Self::retried) that does count every bounce, so
+    /// attribution can tell "many requests bounced once" apart from
+    /// "one request ping-ponged".
+    pub retry_events: u64,
     /// Total prompt tokens across completed requests.
     pub prompt_tokens: u64,
     /// Prompt tokens served from the prefix cache.
@@ -244,6 +291,10 @@ pub struct RunReport {
     pub ttft: Summary,
     /// End-to-end latency distribution, in seconds.
     pub e2e: Summary,
+    /// Forwarding-chain length per request (1 = served by the balancer
+    /// that first received it; each selective-pushing forward adds one).
+    /// Only requests that reached a balancer contribute.
+    pub hops: Summary,
 }
 
 #[cfg(test)]
@@ -366,6 +417,31 @@ mod tests {
         t.retry(99); // unknown: ignored
         let r = t.report(SimTime::from_secs(1));
         assert_eq!(r.retried, 1);
+        // ... but the event counter sees both bounces of request 1.
+        assert_eq!(r.retry_events, 2);
+        assert_eq!(t.retries_of(1), 2);
+        assert_eq!(t.retries_of(2), 0);
+        assert_eq!(t.retries_of(99), 0);
+    }
+
+    #[test]
+    fn hops_keep_the_longest_chain() {
+        let mut t = RequestTracker::new();
+        t.arrival(1, ms(0), 10);
+        t.record_hops(1, 1);
+        t.record_hops(1, 3); // forwarded twice: chain length 3
+        t.record_hops(1, 2); // a stale lower observation never shrinks it
+        t.arrival(2, ms(0), 10);
+        t.record_hops(2, 1);
+        t.arrival(3, ms(0), 10); // never reached a balancer
+        t.record_hops(99, 7); // unknown: ignored
+        assert_eq!(t.hops_of(1), Some(3));
+        assert_eq!(t.hops_of(3), None);
+        assert_eq!(t.hops_of(99), None);
+        let r = t.report(SimTime::from_secs(1));
+        assert_eq!(r.hops.count, 2);
+        assert!((r.hops.max - 3.0).abs() < 1e-9);
+        assert!((r.hops.min - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   token, completion) aggregated into a [`RunReport`].
 //! - [`TimeSeries`]: timestamped gauge traces, e.g. KV-cache utilization
 //!   per replica over time, with peak-gap statistics.
-//! - [`Spread`]: mean/min/max aggregation of one metric across the
-//!   replicates of a sweep cell.
+//! - [`Spread`]: mean/min/max/p50/p90 aggregation of one metric across
+//!   the replicates of a sweep cell or the per-request samples of a
+//!   trace phase.
 //! - [`json`]: the zero-dependency `BENCH_*.json` report serializer
 //!   shared by the figure benches and the sweep lab.
 

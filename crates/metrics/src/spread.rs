@@ -2,13 +2,16 @@
 //!
 //! A sweep runs every experiment cell under several seeds; what the
 //! comparison table needs per metric is the central value plus how far
-//! individual seeds strayed from it. [`Spread`] is that triple — mean
-//! with min/max whiskers — kept deliberately simpler than [`Summary`]
-//! (replicate counts are single digits, percentiles would be noise).
+//! individual seeds strayed from it. [`Spread`] is that envelope — mean
+//! with min/max whiskers plus p50/p90 — kept deliberately simpler than
+//! [`Summary`] (no tail percentiles, no histogram state): it serves
+//! both single-digit replicate counts, where p50/p90 collapse toward
+//! min/max, and per-phase trace populations, where they carry real
+//! signal.
 //!
 //! [`Summary`]: crate::Summary
 
-/// Mean and min/max envelope of one metric across replicates.
+/// Mean, min/max envelope, and p50/p90 of one metric across samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Spread {
     /// Number of samples aggregated.
@@ -19,6 +22,13 @@ pub struct Spread {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Median (closest-rank interpolation, same convention as
+    /// [`Summary`]).
+    ///
+    /// [`Summary`]: crate::Summary
+    pub p50: f64,
+    /// 90th percentile (closest-rank interpolation).
+    pub p90: f64,
 }
 
 impl Spread {
@@ -28,30 +38,39 @@ impl Spread {
         mean: 0.0,
         min: 0.0,
         max: 0.0,
+        p50: 0.0,
+        p90: 0.0,
     };
 
     /// Aggregates a sample list. Non-finite samples are ignored; an
     /// empty (or all-non-finite) list yields [`Spread::EMPTY`].
     pub fn from_samples(samples: &[f64]) -> Spread {
-        let mut count = 0usize;
-        let (mut sum, mut min, mut max) = (0.0, f64::INFINITY, f64::NEG_INFINITY);
-        for &s in samples {
-            if !s.is_finite() {
-                continue;
-            }
-            count += 1;
-            sum += s;
-            min = min.min(s);
-            max = max.max(s);
-        }
-        if count == 0 {
+        let mut kept: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+        if kept.is_empty() {
             return Spread::EMPTY;
         }
+        kept.sort_by(|a, b| a.partial_cmp(b).expect("finite samples are ordered"));
+        let count = kept.len();
+        let sum: f64 = kept.iter().sum();
+        let quantile = |q: f64| -> f64 {
+            // Linear interpolation between closest ranks, mirroring
+            // `Histogram::quantile` so both views of one sample set agree.
+            let pos = q * (count - 1) as f64;
+            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+            if lo == hi {
+                kept[lo]
+            } else {
+                let frac = pos - lo as f64;
+                kept[lo] * (1.0 - frac) + kept[hi] * frac
+            }
+        };
         Spread {
             count,
             mean: sum / count as f64,
-            min,
-            max,
+            min: kept[0],
+            max: kept[count - 1],
+            p50: quantile(0.50),
+            p90: quantile(0.90),
         }
     }
 
@@ -109,5 +128,33 @@ mod tests {
         let s = Spread::from_samples(&[-1.0, 1.0]);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.relative_span(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        let s = Spread::from_samples(&[0.0, 10.0]);
+        assert!((s.p50 - 5.0).abs() < 1e-12);
+        assert!((s.p90 - 9.0).abs() < 1e-12);
+        let single = Spread::from_samples(&[7.5]);
+        assert_eq!((single.p50, single.p90), (7.5, 7.5));
+    }
+
+    #[test]
+    fn percentiles_match_histogram_convention() {
+        let samples: Vec<f64> = (0..37).map(|i| ((i * 31) % 37) as f64).collect();
+        let s = Spread::from_samples(&samples);
+        let mut h = crate::Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        assert!((s.p50 - h.quantile(0.50)).abs() < 1e-12);
+        assert!((s.p90 - h.quantile(0.90)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_ordered_within_envelope() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64).powi(2)).collect();
+        let s = Spread::from_samples(&samples);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.max);
     }
 }

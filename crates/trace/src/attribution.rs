@@ -1,0 +1,615 @@
+//! Decomposing each request's latency into exhaustive, non-overlapping
+//! phases.
+//!
+//! A request's recorded milestones form a *main chain* from its first
+//! [`Issued`](crate::TraceEventKind::Issued) to its terminal event (or
+//! last observation). Every interval between consecutive milestones is
+//! charged to exactly one [`Phase`], chosen by the milestone the
+//! interval *starts* from — e.g. the time after `LbQueued` is balancer
+//! queueing, the time after `Admitted` is prefill. Because the chain
+//! partitions `[first, last]` and phase durations are integer
+//! microseconds, the invariant is exact, not approximate:
+//!
+//! > per-request phase durations sum to the request's end-to-end
+//! > latency, microsecond for microsecond.
+//!
+//! The one parallel leg — first-token delivery racing the decode — is
+//! excluded from the main chain and accounted in the separate TTFT
+//! decomposition, which satisfies the same conservation invariant
+//! against the client-observed TTFT.
+
+use std::collections::HashMap;
+
+use skywalker_sim::{SimDuration, SimTime};
+
+use crate::event::TraceEventKind;
+use crate::recorder::TraceSummary;
+
+/// Where one microsecond of a request's life was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// In flight from the client to a balancer (or to a retry decision).
+    ClientNet,
+    /// Parked between losing a path and re-issuing.
+    RetryBackoff,
+    /// Queued inside a balancer awaiting a dispatch decision.
+    LbQueue,
+    /// In flight between balancers (selective pushing).
+    ForwardNet,
+    /// In flight from the dispatching balancer to the replica.
+    DispatchNet,
+    /// In a replica's pending queue while the replica was admitting —
+    /// ordinary batch queueing.
+    AdmissionWait,
+    /// In a replica's pending queue while the replica could admit
+    /// nothing for whole iterations — queueing caused by KV-memory
+    /// pressure, not compute.
+    KvStall,
+    /// Admitted and prefilling, up to the first output token.
+    Prefill,
+    /// Decoding output tokens.
+    Decode,
+    /// Preempted out of the running batch, awaiting re-admission.
+    PreemptWait,
+    /// Finished response in flight back to the client.
+    DeliveryNet,
+    /// First output token in flight back to the client. Only appears in
+    /// the TTFT decomposition — in the end-to-end chain this leg runs in
+    /// parallel with [`Decode`](Phase::Decode).
+    FirstTokenNet,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 12] = [
+        Phase::ClientNet,
+        Phase::RetryBackoff,
+        Phase::LbQueue,
+        Phase::ForwardNet,
+        Phase::DispatchNet,
+        Phase::AdmissionWait,
+        Phase::KvStall,
+        Phase::Prefill,
+        Phase::Decode,
+        Phase::PreemptWait,
+        Phase::DeliveryNet,
+        Phase::FirstTokenNet,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable display label (also the diff-table key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::ClientNet => "client-net",
+            Phase::RetryBackoff => "retry-backoff",
+            Phase::LbQueue => "lb-queue",
+            Phase::ForwardNet => "forward-net",
+            Phase::DispatchNet => "dispatch-net",
+            Phase::AdmissionWait => "admission-wait",
+            Phase::KvStall => "kv-stall",
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+            Phase::PreemptWait => "preempt-wait",
+            Phase::DeliveryNet => "delivery-net",
+            Phase::FirstTokenNet => "first-token-net",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("every phase is in ALL")
+    }
+}
+
+/// Integer-exact time per [`Phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown([SimDuration; Phase::COUNT]);
+
+impl PhaseBreakdown {
+    /// Time spent in one phase.
+    pub fn get(&self, phase: Phase) -> SimDuration {
+        self.0[phase.index()]
+    }
+
+    /// Adds time to one phase (saturating, like all sim arithmetic).
+    pub fn add(&mut self, phase: Phase, d: SimDuration) {
+        self.0[phase.index()] += d;
+    }
+
+    /// Sum over all phases — by the conservation invariant, the
+    /// request's end-to-end (or TTFT) latency.
+    pub fn total(&self) -> SimDuration {
+        self.0.iter().fold(SimDuration::ZERO, |acc, d| acc + *d)
+    }
+
+    /// Iterates `(phase, duration)` in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, SimDuration)> + '_ {
+        Phase::ALL.iter().map(move |p| (*p, self.get(*p)))
+    }
+}
+
+/// How a traced request's timeline ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The full response reached the client.
+    Completed,
+    /// The request terminally failed.
+    Failed,
+    /// The timeline just stops — still in flight at run end, or its
+    /// tail fell past the recorder's capacity.
+    Unfinished,
+}
+
+/// One request's attributed timeline.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// Request id.
+    pub req: u64,
+    /// End-to-end phase decomposition. Sums exactly to
+    /// [`e2e`](Self::e2e).
+    pub phases: PhaseBreakdown,
+    /// First `Issued` to terminal (or last observed) milestone.
+    pub e2e: SimDuration,
+    /// TTFT decomposition, when a first token reached the client.
+    pub ttft: Option<TtftTrace>,
+    /// How the timeline ended.
+    pub outcome: TraceOutcome,
+    /// Forwarding-chain length (1 = served by the first balancer); 0 if
+    /// the request never reached one.
+    pub hops: u8,
+    /// Re-issues after the first (retries, reroutes).
+    pub retries: u32,
+    /// Times the request was preempted out of a running batch.
+    pub preemptions: u32,
+}
+
+/// The TTFT side of a request's attribution: the main chain clipped at
+/// first-token production, plus the parallel delivery leg.
+#[derive(Debug, Clone)]
+pub struct TtftTrace {
+    /// Phase decomposition; sums exactly to [`ttft`](Self::ttft).
+    pub phases: PhaseBreakdown,
+    /// First `Issued` to `FirstTokenDelivered`.
+    pub ttft: SimDuration,
+}
+
+/// The attribution pass over one recorded run.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Per-request timelines, in order of first appearance.
+    pub requests: Vec<RequestTrace>,
+    /// Events the recorder could not store. Non-zero means
+    /// [`requests`](Self::requests) covers a prefix of the run.
+    pub dropped_events: u64,
+}
+
+impl Attribution {
+    /// Runs the attribution pass over a recorded trace.
+    pub fn from_summary(summary: &TraceSummary) -> Attribution {
+        // Replica-level annotations first: stall windows refine the
+        // admission-wait of every request pending there.
+        let mut stalls: HashMap<u32, Vec<(SimTime, SimTime)>> = HashMap::new();
+        for ev in &summary.events {
+            if let TraceEventKind::ReplicaStall { replica, until } = ev.kind {
+                stalls.entry(replica).or_default().push((ev.at, until));
+            }
+        }
+
+        // Group per-request milestones, preserving execution order (the
+        // engine hands events out in virtual-time order, so each group
+        // is already chronological).
+        let mut order: Vec<u64> = Vec::new();
+        let mut timelines: HashMap<u64, Vec<(SimTime, TraceEventKind)>> = HashMap::new();
+        for ev in &summary.events {
+            if let Some(req) = ev.kind.request() {
+                let line = timelines.entry(req).or_insert_with(|| {
+                    order.push(req);
+                    Vec::new()
+                });
+                line.push((ev.at, ev.kind));
+            }
+        }
+
+        let requests = order
+            .into_iter()
+            .map(|req| attribute_one(req, &timelines[&req], &stalls))
+            .collect();
+        Attribution {
+            requests,
+            dropped_events: summary.dropped_events,
+        }
+    }
+
+    /// The completed requests' timelines.
+    pub fn completed(&self) -> impl Iterator<Item = &RequestTrace> {
+        self.requests
+            .iter()
+            .filter(|r| r.outcome == TraceOutcome::Completed)
+    }
+}
+
+/// The phase an interval *starting* at this milestone is charged to, or
+/// `None` when the milestone is terminal / not part of the main chain.
+fn outgoing_phase(kind: &TraceEventKind) -> Option<Phase> {
+    use TraceEventKind::*;
+    match kind {
+        Issued { .. } => Some(Phase::ClientNet),
+        RetryWait { .. } => Some(Phase::RetryBackoff),
+        LbQueued { .. } => Some(Phase::LbQueue),
+        Forwarded { .. } => Some(Phase::ForwardNet),
+        Dispatched { .. } => Some(Phase::DispatchNet),
+        ReplicaQueued { .. } => Some(Phase::AdmissionWait),
+        Admitted { .. } => Some(Phase::Prefill),
+        FirstToken { .. } => Some(Phase::Decode),
+        Preempted { .. } => Some(Phase::PreemptWait),
+        ReplicaDone { .. } => Some(Phase::DeliveryNet),
+        Delivered { .. } | Failed { .. } => None,
+        FirstTokenDelivered { .. } | ReplicaStall { .. } | Evicted { .. } => None,
+    }
+}
+
+/// Microseconds of `[a, b)` covered by the replica's stall windows.
+/// Windows never overlap (a replica runs one iteration at a time), so a
+/// plain sum of clipped windows is the union measure.
+fn stall_overlap(a: SimTime, b: SimTime, windows: &[(SimTime, SimTime)]) -> SimDuration {
+    let mut covered = SimDuration::ZERO;
+    for &(s, u) in windows {
+        let lo = s.max(a);
+        let hi = u.min(b);
+        if hi > lo {
+            covered += hi.since(lo);
+        }
+    }
+    covered
+}
+
+fn attribute_one(
+    req: u64,
+    timeline: &[(SimTime, TraceEventKind)],
+    stalls: &HashMap<u32, Vec<(SimTime, SimTime)>>,
+) -> RequestTrace {
+    // Split the parallel first-token-delivery leg off the main chain.
+    let mut chain: Vec<(SimTime, TraceEventKind)> = Vec::with_capacity(timeline.len());
+    let mut ttft_delivered: Option<SimTime> = None;
+    let mut first_token_at: Option<SimTime> = None;
+    let (mut hops, mut retries, mut preemptions) = (0u8, 0u32, 0u32);
+    let mut terminal: Option<TraceOutcome> = None;
+    for &(at, kind) in timeline {
+        if let TraceEventKind::FirstTokenDelivered { .. } = kind {
+            // First observation wins — matches RequestTracker::first_token.
+            ttft_delivered.get_or_insert(at);
+            continue;
+        }
+        if terminal.is_some() {
+            // A crash can fail a request whose last iteration's outputs
+            // still stream out afterwards; everything past the terminal
+            // milestone is that echo, not lifecycle.
+            continue;
+        }
+        match kind {
+            TraceEventKind::Issued { .. } if !chain.is_empty() => retries += 1,
+            TraceEventKind::LbQueued { hops: h, .. } => hops = hops.max(h.saturating_add(1)),
+            TraceEventKind::Preempted { .. } => preemptions += 1,
+            TraceEventKind::FirstToken { .. } => {
+                first_token_at.get_or_insert(at);
+            }
+            TraceEventKind::Delivered { .. } => terminal = Some(TraceOutcome::Completed),
+            TraceEventKind::Failed { .. } => terminal = Some(TraceOutcome::Failed),
+            _ => {}
+        }
+        chain.push((at, kind));
+    }
+
+    let mut phases = PhaseBreakdown::default();
+    let mut ttft_phases = PhaseBreakdown::default();
+    let ttft_clip = first_token_at.filter(|_| ttft_delivered.is_some());
+    for pair in chain.windows(2) {
+        let ((from_at, from_kind), (to_at, _)) = (pair[0], pair[1]);
+        let Some(phase) = outgoing_phase(&from_kind) else {
+            continue;
+        };
+        let charge = |out: &mut PhaseBreakdown, a: SimTime, b: SimTime| {
+            if b <= a {
+                return;
+            }
+            let span = b.since(a);
+            if phase == Phase::AdmissionWait {
+                // Waiting on a stalled replica is memory pressure, not
+                // ordinary queueing; integer clipping keeps the split
+                // summing exactly to the original interval.
+                let replica = match from_kind {
+                    TraceEventKind::ReplicaQueued { replica, .. } => Some(replica),
+                    _ => None,
+                };
+                let stalled = replica
+                    .and_then(|r| stalls.get(&r))
+                    .map_or(SimDuration::ZERO, |w| stall_overlap(a, b, w));
+                out.add(Phase::KvStall, stalled);
+                out.add(Phase::AdmissionWait, span - stalled);
+            } else {
+                out.add(phase, span);
+            }
+        };
+        charge(&mut phases, from_at, to_at);
+        if let Some(clip) = ttft_clip {
+            // The TTFT view is the same chain clipped at first-token
+            // production; the delivery leg is added below.
+            charge(&mut ttft_phases, from_at, to_at.min(clip));
+        }
+    }
+
+    let start = chain.first().map_or(SimTime::ZERO, |(at, _)| *at);
+    let end = chain.last().map_or(start, |(at, _)| *at);
+    let ttft = match (ttft_clip, ttft_delivered) {
+        (Some(produced), Some(delivered)) => {
+            // Causality: any delivery's production is at or after the
+            // first production, so this leg is non-negative.
+            ttft_phases.add(Phase::FirstTokenNet, delivered.saturating_since(produced));
+            Some(TtftTrace {
+                phases: ttft_phases,
+                ttft: delivered.saturating_since(start),
+            })
+        }
+        _ => None,
+    };
+
+    RequestTrace {
+        req,
+        phases,
+        e2e: end.since(start),
+        ttft,
+        outcome: terminal.unwrap_or(TraceOutcome::Unfinished),
+        hops,
+        retries,
+        preemptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn summary(events: Vec<(u64, TraceEventKind)>) -> TraceSummary {
+        TraceSummary {
+            events: events
+                .into_iter()
+                .map(|(t, kind)| TraceEvent { at: us(t), kind })
+                .collect(),
+            capacity: 1 << 16,
+            dropped_events: 0,
+        }
+    }
+
+    use TraceEventKind::*;
+
+    #[test]
+    fn happy_path_conserves_and_maps_phases() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (
+                10,
+                LbQueued {
+                    req: 1,
+                    lb: 0,
+                    hops: 0,
+                },
+            ),
+            (
+                30,
+                Dispatched {
+                    req: 1,
+                    lb: 0,
+                    replica: 2,
+                },
+            ),
+            (45, ReplicaQueued { req: 1, replica: 2 }),
+            (65, Admitted { req: 1, replica: 2 }),
+            (165, FirstToken { req: 1, replica: 2 }),
+            (175, FirstTokenDelivered { req: 1 }),
+            (365, ReplicaDone { req: 1, replica: 2 }),
+            (380, Delivered { req: 1 }),
+        ]));
+        assert_eq!(a.requests.len(), 1);
+        let r = &a.requests[0];
+        assert_eq!(r.outcome, TraceOutcome::Completed);
+        assert_eq!(r.e2e, SimDuration::from_micros(380));
+        assert_eq!(r.phases.total(), r.e2e);
+        assert_eq!(r.phases.get(Phase::ClientNet), SimDuration::from_micros(10));
+        assert_eq!(r.phases.get(Phase::LbQueue), SimDuration::from_micros(20));
+        assert_eq!(
+            r.phases.get(Phase::DispatchNet),
+            SimDuration::from_micros(15)
+        );
+        assert_eq!(
+            r.phases.get(Phase::AdmissionWait),
+            SimDuration::from_micros(20)
+        );
+        assert_eq!(r.phases.get(Phase::Prefill), SimDuration::from_micros(100));
+        assert_eq!(r.phases.get(Phase::Decode), SimDuration::from_micros(200));
+        assert_eq!(
+            r.phases.get(Phase::DeliveryNet),
+            SimDuration::from_micros(15)
+        );
+        assert_eq!((r.hops, r.retries, r.preemptions), (1, 0, 0));
+        // TTFT: chain clipped at production (165) + delivery leg (10).
+        let t = r.ttft.as_ref().expect("first token was delivered");
+        assert_eq!(t.ttft, SimDuration::from_micros(175));
+        assert_eq!(t.phases.total(), t.ttft);
+        assert_eq!(
+            t.phases.get(Phase::FirstTokenNet),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(t.phases.get(Phase::Decode), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stall_windows_split_admission_wait() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (
+                10,
+                LbQueued {
+                    req: 1,
+                    lb: 0,
+                    hops: 0,
+                },
+            ),
+            (
+                10,
+                Dispatched {
+                    req: 1,
+                    lb: 0,
+                    replica: 0,
+                },
+            ),
+            (20, ReplicaQueued { req: 1, replica: 0 }),
+            // Two stalled iterations while queued; one on another replica
+            // (ignored) and one clipped by the admission instant.
+            (
+                30,
+                ReplicaStall {
+                    replica: 0,
+                    until: us(50),
+                },
+            ),
+            (
+                30,
+                ReplicaStall {
+                    replica: 1,
+                    until: us(90),
+                },
+            ),
+            (
+                60,
+                ReplicaStall {
+                    replica: 0,
+                    until: us(120),
+                },
+            ),
+            (100, Admitted { req: 1, replica: 0 }),
+            (110, FirstToken { req: 1, replica: 0 }),
+            (120, ReplicaDone { req: 1, replica: 0 }),
+            (130, Delivered { req: 1 }),
+        ]));
+        let r = &a.requests[0];
+        // Queued [20,100): stalled [30,50) + [60,100-clip) = 20 + 40.
+        assert_eq!(r.phases.get(Phase::KvStall), SimDuration::from_micros(60));
+        assert_eq!(
+            r.phases.get(Phase::AdmissionWait),
+            SimDuration::from_micros(20)
+        );
+        assert_eq!(r.phases.total(), r.e2e);
+    }
+
+    #[test]
+    fn preemption_and_retry_paths_conserve() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (5, RetryWait { req: 1 }), // dead balancer
+            (1005, Issued { req: 1 }),
+            (
+                1015,
+                LbQueued {
+                    req: 1,
+                    lb: 1,
+                    hops: 0,
+                },
+            ),
+            (1020, Forwarded { req: 1, from: 1 }),
+            (
+                1060,
+                LbQueued {
+                    req: 1,
+                    lb: 2,
+                    hops: 1,
+                },
+            ),
+            (
+                1070,
+                Dispatched {
+                    req: 1,
+                    lb: 2,
+                    replica: 0,
+                },
+            ),
+            (1080, ReplicaQueued { req: 1, replica: 0 }),
+            (1090, Admitted { req: 1, replica: 0 }),
+            (1190, FirstToken { req: 1, replica: 0 }),
+            (1200, FirstTokenDelivered { req: 1 }),
+            (1250, Preempted { req: 1, replica: 0 }),
+            (1300, Admitted { req: 1, replica: 0 }),
+            (1400, FirstToken { req: 1, replica: 0 }),
+            (1410, FirstTokenDelivered { req: 1 }), // re-emission: ignored
+            (1500, ReplicaDone { req: 1, replica: 0 }),
+            (1510, Delivered { req: 1 }),
+        ]));
+        let r = &a.requests[0];
+        assert_eq!(r.outcome, TraceOutcome::Completed);
+        assert_eq!(r.e2e, SimDuration::from_micros(1510));
+        assert_eq!(r.phases.total(), r.e2e);
+        assert_eq!(
+            r.phases.get(Phase::RetryBackoff),
+            SimDuration::from_micros(1000)
+        );
+        assert_eq!(
+            r.phases.get(Phase::ForwardNet),
+            SimDuration::from_micros(40)
+        );
+        assert_eq!(
+            r.phases.get(Phase::PreemptWait),
+            SimDuration::from_micros(50)
+        );
+        // Two prefills (100 each), decode 1250-1190 + 1500-1400.
+        assert_eq!(r.phases.get(Phase::Prefill), SimDuration::from_micros(200));
+        assert_eq!(r.phases.get(Phase::Decode), SimDuration::from_micros(160));
+        assert_eq!((r.hops, r.retries, r.preemptions), (2, 1, 1));
+        let t = r.ttft.as_ref().expect("delivered");
+        assert_eq!(t.ttft, SimDuration::from_micros(1200));
+        assert_eq!(t.phases.total(), t.ttft);
+    }
+
+    #[test]
+    fn events_after_terminal_are_ignored() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (10, ReplicaQueued { req: 1, replica: 0 }),
+            (20, Failed { req: 1 }),
+            // Crash echo: the dying iteration's outputs still stream out.
+            (30, FirstToken { req: 1, replica: 0 }),
+            (40, ReplicaDone { req: 1, replica: 0 }),
+        ]));
+        let r = &a.requests[0];
+        assert_eq!(r.outcome, TraceOutcome::Failed);
+        assert_eq!(r.e2e, SimDuration::from_micros(20));
+        assert_eq!(r.phases.total(), r.e2e);
+        assert!(r.ttft.is_none());
+    }
+
+    #[test]
+    fn unfinished_timelines_are_marked() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (
+                10,
+                LbQueued {
+                    req: 1,
+                    lb: 0,
+                    hops: 0,
+                },
+            ),
+        ]));
+        assert_eq!(a.requests[0].outcome, TraceOutcome::Unfinished);
+        assert_eq!(a.requests[0].e2e, SimDuration::from_micros(10));
+        assert_eq!(a.requests[0].phases.total(), a.requests[0].e2e);
+        assert_eq!(a.completed().count(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The conservation property suite: per-request phase decompositions
+//! must sum *exactly* to what they decompose, across the whole scenario
+//! space.
+//!
+//! Every run here executes with the span recorder attached, feeds its
+//! `TraceSummary` through [`Attribution`], and asserts, for every
+//! request:
+//!
+//! 1. **E2E conservation** — the phase breakdown sums exactly (integer
+//!    microseconds, no tolerance) to the request's end-to-end latency.
+//! 2. **TTFT conservation** — same for the TTFT-side breakdown.
+//! 3. **Outcome agreement** — the attribution's completed/failed/
+//!    unfinished counts equal the tracker-side
+//!    `RunReport`'s completed/failed/in-flight, and the mean latencies
+//!    agree to float tolerance (two independent observers of one run).
+//!
+//! Coverage is the repository's full experiment space: five serving
+//! engines under memory pressure (preemption + eviction + KV stalls),
+//! all eight deployment presets, all four workloads, balancer-fault
+//! runs (retry paths), a chaos fleet (crashes + reroutes + mid-run
+//! joins), and a reactive autoscaler (drains + joins) — well over a
+//! hundred seeded runs in total.
+
+use skywalker::{
+    fig10_diurnal_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario, run_scenario,
+    ChaosConfig, ChaosPlan, EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict,
+    PrefixAwareEvictor, RunSummary, Scenario, ShortestPromptFirst, SystemKind, ThresholdAutoscaler,
+    TraceConfig, Workload,
+};
+use skywalker_sim::SimDuration;
+use skywalker_trace::{Attribution, TraceOutcome};
+
+fn traced(seed: u64) -> FabricConfig {
+    FabricConfig {
+        seed,
+        trace: Some(TraceConfig::default()),
+        ..FabricConfig::default()
+    }
+}
+
+/// The five serving engines of the shootout grid.
+fn engines() -> Vec<(&'static str, EngineSpec)> {
+    vec![
+        ("fcfs+lru", EngineSpec::default()),
+        (
+            "chunked+lru",
+            EngineSpec::new(Box::new(FcfsBatch::chunked(64)), Box::new(LruEvictor)),
+        ),
+        (
+            "sjf+prefix",
+            EngineSpec::new(
+                Box::new(ShortestPromptFirst::new()),
+                Box::new(PrefixAwareEvictor),
+            ),
+        ),
+        (
+            "fcfs+noevict",
+            EngineSpec::new(Box::new(FcfsBatch::new()), Box::new(NoEvict)),
+        ),
+        (
+            "preempt+lru",
+            EngineSpec::new(
+                Box::new(FcfsBatch::new().with_preemption(0.9)),
+                Box::new(LruEvictor),
+            ),
+        ),
+    ]
+}
+
+/// Runs one traced scenario and checks every conservation invariant.
+/// Returns the attribution so callers can assert path-specific facts.
+fn check(label: &str, scenario: &Scenario, seed: u64) -> (Attribution, RunSummary) {
+    let summary = run_scenario(scenario, &traced(seed));
+    let trace = summary
+        .trace
+        .clone()
+        .unwrap_or_else(|| panic!("{label}/{seed}: tracing was on but no summary came back"));
+    assert!(
+        trace.complete(),
+        "{label}/{seed}: recorder overflowed ({} dropped) — grow the default capacity",
+        trace.dropped_events
+    );
+    let a = Attribution::from_summary(&trace);
+    assert!(
+        !a.requests.is_empty(),
+        "{label}/{seed}: no requests attributed"
+    );
+
+    let (mut completed, mut failed, mut unfinished) = (0usize, 0usize, 0usize);
+    for r in &a.requests {
+        // The conservation law: exhaustive, non-overlapping phases that
+        // sum exactly — integer microseconds, so `==`, not "close".
+        assert_eq!(
+            r.phases.total(),
+            r.e2e,
+            "{label}/{seed}: req {} phases sum {} != e2e {}",
+            r.req,
+            r.phases.total(),
+            r.e2e
+        );
+        if let Some(t) = &r.ttft {
+            assert_eq!(
+                t.phases.total(),
+                t.ttft,
+                "{label}/{seed}: req {} ttft phases sum {} != ttft {}",
+                r.req,
+                t.phases.total(),
+                t.ttft
+            );
+        }
+        match r.outcome {
+            TraceOutcome::Completed => completed += 1,
+            TraceOutcome::Failed => failed += 1,
+            TraceOutcome::Unfinished => unfinished += 1,
+        }
+    }
+
+    // Two independent observers of the same run must agree: the trace
+    // pipeline and the RequestTracker count the same lifecycles.
+    let rep = &summary.report;
+    assert_eq!(
+        (completed as u64, failed as u64, unfinished as u64),
+        (rep.completed, rep.failed, rep.in_flight),
+        "{label}/{seed}: attribution outcomes disagree with the tracker"
+    );
+
+    // And their latency views must agree too (means over the same
+    // per-request values, computed via different aggregators).
+    if rep.completed > 0 {
+        let trace_e2e_mean =
+            a.completed().map(|r| r.e2e.as_secs_f64()).sum::<f64>() / rep.completed as f64;
+        assert!(
+            (trace_e2e_mean - rep.e2e.mean).abs() < 1e-9,
+            "{label}/{seed}: e2e mean {trace_e2e_mean} vs tracker {}",
+            rep.e2e.mean
+        );
+    }
+    let ttfts: Vec<f64> = a
+        .requests
+        .iter()
+        .filter_map(|r| r.ttft.as_ref())
+        .map(|t| t.ttft.as_secs_f64())
+        .collect();
+    if !ttfts.is_empty() {
+        let trace_ttft_mean = ttfts.iter().sum::<f64>() / ttfts.len() as f64;
+        assert!(
+            (trace_ttft_mean - rep.ttft.mean).abs() < 1e-9,
+            "{label}/{seed}: ttft mean {trace_ttft_mean} vs tracker {}",
+            rep.ttft.mean
+        );
+    }
+    (a, summary)
+}
+
+/// Five engines × memory pressure: the preemption, eviction, and
+/// KV-stall paths. 50 runs.
+#[test]
+fn conservation_across_engines_under_memory_pressure() {
+    let mut preempted_seen = false;
+    let mut stall_time = SimDuration::ZERO;
+    for (name, engine) in engines() {
+        for seed in 1..=10 {
+            let scenario = memory_pressure_scenario(engine.clone(), 0.25, seed);
+            let (a, summary) = check(name, &scenario, seed);
+            let trace_preemptions: u64 = a.requests.iter().map(|r| u64::from(r.preemptions)).sum();
+            assert_eq!(
+                trace_preemptions, summary.preempted,
+                "{name}/{seed}: preemption counts disagree with replica stats"
+            );
+            preempted_seen |= trace_preemptions > 0;
+            stall_time = a
+                .requests
+                .iter()
+                .map(|r| r.phases.get(skywalker_trace::Phase::KvStall))
+                .fold(stall_time, |acc, d| acc + d);
+        }
+    }
+    assert!(
+        preempted_seen,
+        "memory pressure should preempt at least once across 50 runs"
+    );
+    assert!(
+        stall_time > SimDuration::ZERO,
+        "memory pressure should attribute some KV-stall time"
+    );
+}
+
+/// All eight deployment presets: routing, forwarding, and hop paths.
+/// 32 runs.
+#[test]
+fn conservation_across_systems() {
+    let mut systems = SystemKind::FIG8.to_vec();
+    systems.push(SystemKind::RegionLocal);
+    for system in systems {
+        for seed in 1..=4 {
+            let scenario = fig8_scenario(system, Workload::Tot, 0.02, seed);
+            check(system.label(), &scenario, seed);
+        }
+    }
+}
+
+/// All four paper workloads on SkyWalker. 8 runs.
+#[test]
+fn conservation_across_workloads() {
+    for w in Workload::ALL {
+        for seed in 1..=2 {
+            let scenario = fig8_scenario(SystemKind::SkyWalker, w, 0.02, seed);
+            check(w.label(), &scenario, seed);
+        }
+    }
+}
+
+/// Balancer faults (fig9's flap schedule): the retry/backoff paths.
+/// 8 runs.
+#[test]
+fn conservation_under_balancer_faults() {
+    for seed in 1..=8 {
+        let scenario = fig9_scenario(SystemKind::SkyWalker, 2, 6, seed);
+        check("fig9", &scenario, seed);
+    }
+}
+
+/// A chaos fleet: crashes, one-shot reroutes, and mid-run replacement
+/// joins. 8 runs.
+#[test]
+fn conservation_under_chaos() {
+    let mut crashes = 0;
+    for seed in 1..=8 {
+        let mut scenario = fig8_scenario(SystemKind::SkyWalker, Workload::Tot, 0.02, seed);
+        scenario.fleet_plan = Some(Box::new(ChaosPlan::new(
+            ChaosConfig {
+                mtbf: SimDuration::from_secs(120),
+                mttr: SimDuration::from_secs(60),
+                ..ChaosConfig::default()
+            },
+            seed,
+        )));
+        let (_, summary) = check("chaos", &scenario, seed);
+        crashes += summary.fleet.crashes;
+    }
+    assert!(crashes > 0, "chaos plan should crash something in 8 runs");
+}
+
+/// A reactive autoscaler over the compressed diurnal day: drains and
+/// joins while requests are in flight. 4 runs.
+#[test]
+fn conservation_under_autoscaling() {
+    let mut elastic = false;
+    for seed in 1..=4 {
+        let mut scenario = fig10_diurnal_scenario(
+            SystemKind::SkyWalker,
+            2,
+            SimDuration::from_secs(600),
+            0.008,
+            seed,
+        );
+        scenario.fleet_plan = Some(Box::new(ThresholdAutoscaler::new(
+            skywalker::diurnal_reference_reactive(),
+        )));
+        let (_, summary) = check("autoscale", &scenario, seed);
+        elastic |= summary.fleet.is_elastic();
+    }
+    assert!(elastic, "the autoscaler should act at least once in 4 runs");
+}

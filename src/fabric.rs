@@ -30,6 +30,7 @@ use skywalker_replica::{
     Request, RequestId,
 };
 use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
+use skywalker_trace::{TraceConfig, TraceEventKind, TraceRecorder, TraceSummary};
 use skywalker_workload::{ClientEvent, ClientListSource, ClientSpec, TrafficSource};
 
 /// Which serving system to deploy — the seven systems of Fig. 8 plus the
@@ -557,6 +558,21 @@ pub struct FabricConfig {
     /// affinity yields to shortest-queue routing (the SGLang router's
     /// default is 32).
     pub balance_abs_threshold: u32,
+    /// Span tracing for bottleneck attribution. `None` (the default)
+    /// records nothing; `Some` attaches a [`TraceRecorder`] and the run
+    /// returns a [`TraceSummary`]. Tracing is observation-only — it
+    /// never reads clocks, draws randomness, or changes scheduling, so
+    /// outcomes are byte-identical either way (pinned by the
+    /// golden-digest gate).
+    pub trace: Option<TraceConfig>,
+}
+
+impl FabricConfig {
+    /// This config with span tracing enabled at the default capacity.
+    pub fn traced(mut self) -> Self {
+        self.trace = Some(TraceConfig::default());
+        self
+    }
 }
 
 impl Default for FabricConfig {
@@ -574,6 +590,7 @@ impl Default for FabricConfig {
             trie_max_tokens: 1 << 22,
             affinity_threshold: 0.5,
             balance_abs_threshold: 32,
+            trace: None,
         }
     }
 }
@@ -619,6 +636,10 @@ pub struct RunSummary {
     /// Fleet elasticity: per-region fleet-size traces and churn
     /// counters.
     pub fleet: FleetSummary,
+    /// The recorded span trace, when [`FabricConfig::trace`] was set.
+    /// Feed it to `skywalker_trace::Attribution` for the per-request
+    /// bottleneck breakdown.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunSummary {
@@ -813,11 +834,26 @@ struct Fabric {
     crashes: u64,
     /// Requests already given their one post-crash reroute.
     rerouted_once: HashSet<u64>,
+    /// Span recorder, attached when [`FabricConfig::trace`] is set.
+    tracer: Option<TraceRecorder>,
+    /// Per-replica cumulative evicted-token counts at the last trace
+    /// point, for emitting per-iteration eviction deltas (indexed like
+    /// `replicas`; only consulted while tracing).
+    last_evicted: Vec<u64>,
 }
 
 impl Fabric {
     fn lb_endpoint(i: u32, region: Region) -> Endpoint {
         Endpoint { region, lb_id: i }
+    }
+
+    /// Records one span event if tracing is on. Observation-only by
+    /// construction: the recorder is fed, nothing is read back.
+    #[inline]
+    fn trace(&mut self, at: SimTime, kind: TraceEventKind) {
+        if let Some(rec) = self.tracer.as_mut() {
+            rec.record(at, kind);
+        }
     }
 
     fn issue_request(
@@ -833,8 +869,10 @@ impl Fabric {
             self.tracker.arrival(req.id.0, now, req.prompt.len() as u64);
             self.req_client.insert(req.id.0, client_idx);
         }
+        self.trace(now, TraceEventKind::Issued { req: req.id.0 });
         let Some(ep) = self.dns.resolve(region) else {
             // Total outage: retry later.
+            self.trace(now, TraceEventKind::RetryWait { req: req.id.0 });
             sched.after(
                 self.cfg.retry_delay,
                 Ev::Retry {
@@ -858,12 +896,26 @@ impl Fabric {
         );
     }
 
-    fn route_decisions(&mut self, lb: u32, decisions: Vec<Decision>, sched: &mut Scheduler<Ev>) {
+    fn route_decisions(
+        &mut self,
+        lb: u32,
+        decisions: Vec<Decision>,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let lb_region = self.lbs[lb as usize].region();
         for d in decisions {
             match d {
                 Decision::Local { req, replica } => {
                     self.req_lb.insert(req.id.0, lb);
+                    self.trace(
+                        now,
+                        TraceEventKind::Dispatched {
+                            req: req.id.0,
+                            lb,
+                            replica: replica.0,
+                        },
+                    );
                     let delay = self.cfg.net.sample_one_way(
                         lb_region,
                         self.replica_region[replica.0 as usize],
@@ -878,6 +930,13 @@ impl Fabric {
                     );
                 }
                 Decision::Forward { req, peer, hops } => {
+                    self.trace(
+                        now,
+                        TraceEventKind::Forwarded {
+                            req: req.id.0,
+                            from: lb,
+                        },
+                    );
                     let delay = self.cfg.net.sample_one_way(
                         lb_region,
                         self.lbs[peer.0 as usize].region(),
@@ -963,6 +1022,7 @@ impl Fabric {
                     let lost = self.lbs[id.0 as usize].drain_queue();
                     for req in lost {
                         if let Some(&client) = self.req_client.get(&req.id.0) {
+                            self.trace(now, TraceEventKind::RetryWait { req: req.id.0 });
                             sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
                         }
                     }
@@ -1069,6 +1129,7 @@ impl Fabric {
                 return;
             }
         }
+        self.trace(now, TraceEventKind::Failed { req: id });
         self.tracker.failure(id);
         if let Some(client) = client {
             self.request_finished(client, sched);
@@ -1088,6 +1149,7 @@ impl Fabric {
                 let lost = self.lbs[lb as usize].drain_queue();
                 for req in lost {
                     if let Some(&client) = self.req_client.get(&req.id.0) {
+                        self.trace(now, TraceEventKind::RetryWait { req: req.id.0 });
                         sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
                     }
                 }
@@ -1111,6 +1173,7 @@ impl Fabric {
                 self.kv_series
                     .push(TimeSeries::new(format!("replica-{}/kv", rid.0)));
                 self.peak_outstanding.push(0);
+                self.last_evicted.push(0);
                 let home = self.home_lb_for(region);
                 self.lbs[home].add_replica_in(rid, region);
                 // Home is the regional balancer even if currently down:
@@ -1233,10 +1296,22 @@ impl World for Fabric {
                 if !self.lb_alive[lb as usize] {
                     // Connection refused: the client retries via DNS.
                     if let Some(&client) = self.req_client.get(&req.id.0) {
+                        self.trace(now, TraceEventKind::RetryWait { req: req.id.0 });
                         sched.after(self.cfg.retry_delay, Ev::Retry { client, req });
                     }
                     return;
                 }
+                // `hops` counts forwards already taken, so the chain
+                // length through this balancer is one longer.
+                self.tracker.record_hops(req.id.0, hops.saturating_add(1));
+                self.trace(
+                    now,
+                    TraceEventKind::LbQueued {
+                        req: req.id.0,
+                        lb,
+                        hops,
+                    },
+                );
                 self.lbs[lb as usize].submit(req, hops);
                 sched.at(now, Ev::LbDispatch { lb });
             }
@@ -1245,7 +1320,7 @@ impl World for Fabric {
                     return;
                 }
                 let decisions = self.lbs[lb as usize].dispatch();
-                self.route_decisions(lb, decisions, sched);
+                self.route_decisions(lb, decisions, now, sched);
             }
             Ev::ReplicaReceive { replica, req } => {
                 let i = replica as usize;
@@ -1264,6 +1339,13 @@ impl World for Fabric {
                     }
                     ReplicaHealth::Active | ReplicaHealth::Draining => {}
                 }
+                self.trace(
+                    now,
+                    TraceEventKind::ReplicaQueued {
+                        req: req.id.0,
+                        replica,
+                    },
+                );
                 self.replicas[i].enqueue(req);
                 sched.at(now, Ev::ReplicaKick { replica });
             }
@@ -1277,6 +1359,35 @@ impl World for Fabric {
                         return;
                     }
                     let out = self.replicas[i].step();
+                    if self.tracer.is_some() {
+                        for id in &out.admitted {
+                            self.trace(now, TraceEventKind::Admitted { req: id.0, replica });
+                        }
+                        for id in &out.preempted {
+                            self.trace(now, TraceEventKind::Preempted { req: id.0, replica });
+                        }
+                        let evicted = self.replicas[i].cache().evicted_tokens();
+                        if evicted > self.last_evicted[i] {
+                            let tokens = evicted - self.last_evicted[i];
+                            self.last_evicted[i] = evicted;
+                            self.trace(now, TraceEventKind::Evicted { replica, tokens });
+                        }
+                        if out.worked()
+                            && out.admitted.is_empty()
+                            && self.replicas[i].pending_len() > 0
+                        {
+                            // A whole iteration ran without room to admit
+                            // the waiting head: pending requests are
+                            // stalled on KV memory, not on compute.
+                            self.trace(
+                                now,
+                                TraceEventKind::ReplicaStall {
+                                    replica,
+                                    until: now + out.duration,
+                                },
+                            );
+                        }
+                    }
                     if out.worked() {
                         self.replica_stepping[i] = true;
                         sched.after(
@@ -1300,6 +1411,7 @@ impl World for Fabric {
                     let Some(dropped) = self.replicas[i].pop_pending_head() else {
                         return;
                     };
+                    self.trace(now, TraceEventKind::Failed { req: dropped.id.0 });
                     self.tracker.failure(dropped.id.0);
                     if let Some(&lb) = self.req_lb.get(&dropped.id.0) {
                         self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
@@ -1323,6 +1435,7 @@ impl World for Fabric {
                 let crashed = self.replica_health[i] == ReplicaHealth::Crashed;
                 let r_region = self.replica_region[i];
                 for id in first_tokens {
+                    self.trace(now, TraceEventKind::FirstToken { req: id.0, replica });
                     if let Some(&client) = self.req_client.get(&id.0) {
                         let delay = self.cfg.net.sample_one_way(
                             r_region,
@@ -1333,6 +1446,13 @@ impl World for Fabric {
                     }
                 }
                 for c in completions {
+                    self.trace(
+                        now,
+                        TraceEventKind::ReplicaDone {
+                            req: c.id.0,
+                            replica,
+                        },
+                    );
                     if let Some(&lb) = self.req_lb.get(&c.id.0) {
                         self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
                         sched.at(now, Ev::LbDispatch { lb });
@@ -1362,9 +1482,16 @@ impl World for Fabric {
                 }
             }
             Ev::DeliverFirstToken { req } => {
+                self.trace(now, TraceEventKind::FirstTokenDelivered { req: req.0 });
                 self.tracker.first_token(req.0, now);
             }
             Ev::DeliverCompletion { client, completion } => {
+                self.trace(
+                    now,
+                    TraceEventKind::Delivered {
+                        req: completion.id.0,
+                    },
+                );
                 self.tracker.completion(
                     completion.id.0,
                     now,
@@ -1709,6 +1836,8 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         drains: 0,
         crashes: 0,
         rerouted_once: HashSet::new(),
+        tracer: cfg.trace.map(TraceRecorder::new),
+        last_evicted: vec![0; n_replicas],
     };
     world.record_fleet(SimTime::ZERO);
 
@@ -1817,5 +1946,6 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         kv_peak_gap,
         kv_series: world.kv_series,
         fleet,
+        trace: world.tracer.map(TraceRecorder::into_summary),
     }
 }

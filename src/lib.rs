@@ -19,6 +19,7 @@
 //! | `skywalker-metrics` | histograms, request tracking, time series, the `BENCH_*.json` serializer |
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
 //! | `skywalker-lab` | the parallel experiment lab: deterministic multi-threaded sweeps over scenario grids |
+//! | `skywalker-trace` | run tracer: span recording, per-request bottleneck attribution, flamegraph-style reports, run diffs (`docs/tracing.md`) |
 //! | this crate | the [`fabric`] with [`ScenarioBuilder`], the preset [`scenarios`], and [`P2cLocal`] — a custom policy built on the open surface |
 //!
 //! `skywalker-lab` sits *above* this facade (it consumes [`Scenario`]
@@ -152,6 +153,9 @@ pub use skywalker_replica::{
     BatchPlan, BatchPolicy, EngineSpec, EvictCandidate, FcfsBatch, KvEvictor, LruEvictor, NoEvict,
     PendingView, PrefixAwareEvictor, RunningView, StepView,
 };
+pub use skywalker_trace::{
+    Attribution, BottleneckReport, Phase, TraceConfig, TraceDiff, TraceSummary,
+};
 pub use sources::{DiurnalSource, FlashCrowdSource, RagCorpusConfig, RagCorpusSource};
 pub use workload::{
     ArrivalSchedule, ClientEvent, ClientListSource, ConversationSource, MergeSource, TotSource,
@@ -167,4 +171,5 @@ pub use skywalker_metrics as metrics;
 pub use skywalker_net as net;
 pub use skywalker_replica as replica;
 pub use skywalker_sim as sim;
+pub use skywalker_trace as trace;
 pub use skywalker_workload as workload;

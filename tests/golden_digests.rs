@@ -25,7 +25,7 @@
 use skywalker::{
     fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario, run_scenario,
     EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary,
-    Scenario, ShortestPromptFirst, SystemKind, Workload,
+    Scenario, ShortestPromptFirst, SystemKind, TraceConfig, Workload,
 };
 use skywalker_metrics::json::{Report, Val};
 
@@ -72,17 +72,24 @@ fn digest_row(tag: &str, seed: u64, s: &RunSummary) -> Vec<(String, Val)> {
     .collect()
 }
 
-fn run_group(name: &str, cells: Vec<GoldenCell>) {
+fn render_group(name: &str, cells: &[GoldenCell], trace: bool) -> String {
     let mut rep = Report::new(format!("golden_{name}"));
     rep.meta("seeds", format!("{SEEDS:?}"));
-    for (tag, build) in &cells {
+    for (tag, build) in cells {
         for seed in SEEDS {
             let scenario = build(seed);
             let cfg = FabricConfig {
                 seed,
+                trace: trace.then(TraceConfig::default),
                 ..FabricConfig::default()
             };
             let summary = run_scenario(&scenario, &cfg);
+            if trace {
+                assert!(
+                    summary.trace.as_ref().is_some_and(|t| !t.events.is_empty()),
+                    "{tag}/{seed}: tracing was requested but recorded nothing"
+                );
+            }
             let fields = digest_row(tag, seed, &summary);
             let refs: Vec<(&str, Val)> = fields
                 .iter()
@@ -91,7 +98,11 @@ fn run_group(name: &str, cells: Vec<GoldenCell>) {
             rep.row(&refs);
         }
     }
-    compare_or_update(name, &rep.render());
+    rep.render()
+}
+
+fn run_group(name: &str, cells: Vec<GoldenCell>) {
+    compare_or_update(name, &render_group(name, &cells, false));
 }
 
 /// Byte-compares the rendered report against `tests/golden/{name}.json`,
@@ -184,11 +195,7 @@ fn golden_figures() {
     run_group("figures", cells);
 }
 
-/// The memory-pressure preset across engines: serving-engine-axis
-/// coverage (incl. the default engine, whose rows double as the
-/// byte-level pin of FCFS+LRU at fabric scope).
-#[test]
-fn golden_memory_pressure() {
+fn memory_pressure_cells() -> CellList {
     type EngineMaker = fn() -> EngineSpec;
     let engines: Vec<(&str, EngineMaker)> = vec![
         ("default", EngineSpec::default),
@@ -205,7 +212,7 @@ fn golden_memory_pressure() {
             EngineSpec::new(Box::new(FcfsBatch::new()), Box::new(NoEvict))
         }),
     ];
-    let cells: CellList = engines
+    engines
         .into_iter()
         .map(|(tag, mk)| {
             (
@@ -214,6 +221,35 @@ fn golden_memory_pressure() {
                     as Box<dyn Fn(u64) -> Scenario>,
             )
         })
-        .collect();
-    run_group("memory_pressure", cells);
+        .collect()
+}
+
+/// The memory-pressure preset across engines: serving-engine-axis
+/// coverage (incl. the default engine, whose rows double as the
+/// byte-level pin of FCFS+LRU at fabric scope).
+#[test]
+fn golden_memory_pressure() {
+    run_group("memory_pressure", memory_pressure_cells());
+}
+
+/// Tracing is observation-only: re-running the memory-pressure group
+/// with the span recorder attached must reproduce the committed digest
+/// byte-for-byte. Read-only on purpose — `golden_memory_pressure` owns
+/// the file, so this test never writes, even under `UPDATE_GOLDENS=1`
+/// (it skips instead: the file may be mid-rewrite in a parallel test).
+#[test]
+fn golden_memory_pressure_traced_is_byte_identical() {
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        println!("skipping traced comparison while goldens are being refreshed");
+        return;
+    }
+    let rendered = render_group("memory_pressure", &memory_pressure_cells(), true);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/memory_pressure.json");
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+    assert_eq!(
+        expected, rendered,
+        "attaching the trace recorder changed a run's digest — tracing must be observation-only"
+    );
 }
