@@ -1,0 +1,12 @@
+//! D01 fixture — wall-clock reads must not reach deterministic code:
+//! a timing-dependent branch makes the run a function of the machine,
+//! not the seed.
+
+fn elapsed_wall() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

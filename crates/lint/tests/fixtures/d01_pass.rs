@@ -1,0 +1,10 @@
+//! D01 fixture — the scheduler's virtual clock is the only clock the
+//! simulator may consult.
+
+fn now_virtual(clock: &SimClock) -> SimTime {
+    clock.now()
+}
+
+fn deadline(clock: &SimClock, budget: SimDuration) -> SimTime {
+    clock.now().plus(budget)
+}

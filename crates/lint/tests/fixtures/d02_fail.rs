@@ -1,0 +1,18 @@
+//! D02 fixture — iterating a hash-ordered map feeds allocation-address
+//! noise straight into whatever the loop computes.
+
+use std::collections::HashMap;
+
+struct Ledger {
+    per_region: HashMap<u32, u64>,
+}
+
+impl Ledger {
+    fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (region, tokens) in &self.per_region {
+            acc = acc.wrapping_mul(31).wrapping_add(u64::from(*region) ^ tokens);
+        }
+        acc
+    }
+}

@@ -1,0 +1,18 @@
+//! D02 fixture — a BTreeMap iterates in key order, so the same inserts
+//! always produce the same digest.
+
+use std::collections::BTreeMap;
+
+struct Ledger {
+    per_region: BTreeMap<u32, u64>,
+}
+
+impl Ledger {
+    fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (region, tokens) in &self.per_region {
+            acc = acc.wrapping_mul(31).wrapping_add(u64::from(*region) ^ tokens);
+        }
+        acc
+    }
+}

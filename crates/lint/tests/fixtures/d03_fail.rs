@@ -1,0 +1,8 @@
+//! D03 fixture — a raw seed mid-stack forks the RNG tree ad hoc: two
+//! call sites picking the same constant silently correlate their
+//! streams, and reordering call sites reshuffles every draw.
+
+fn jitter(latency_us: u64) -> u64 {
+    let mut rng = DetRng::new(0xBEEF);
+    latency_us + rng.next_u64() % 50
+}

@@ -1,0 +1,9 @@
+//! D03 fixture — streams are derived from the component tree, so every
+//! consumer gets an independent, stable stream regardless of call
+//! order.
+
+fn jitter(root_seed: u64, latency_us: u64) -> u64 {
+    let mut rng = DetRng::for_component(root_seed, "net-jitter");
+    let mut tiebreak = rng.derive("tiebreak");
+    latency_us + tiebreak.next_u64() % 50
+}

@@ -1,0 +1,11 @@
+//! D04 fixture — ambient threads race on completion order; any state
+//! they touch stops being a pure function of the seed.
+
+fn fan_out(jobs: Vec<Job>) -> Vec<Out> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    for job in jobs {
+        let tx = tx.clone();
+        std::thread::spawn(move || tx.send(run(job)));
+    }
+    rx.into_iter().collect()
+}

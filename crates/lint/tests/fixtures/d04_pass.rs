@@ -1,0 +1,7 @@
+//! D04 fixture — simulation code stays single-threaded; parallelism
+//! belongs in the lab's slot-addressed pool, which merges results by
+//! slot index, not completion order.
+
+fn run_all(jobs: Vec<Job>) -> Vec<Out> {
+    jobs.into_iter().map(run).collect()
+}

@@ -1,0 +1,18 @@
+//! D05 fixture — float addition is not associative, so reducing floats
+//! in hash order makes the low bits of the sum a function of the
+//! allocator, not the seed.
+
+use std::collections::HashMap;
+
+fn mean_latency(samples: HashMap<u64, f64>) -> f64 {
+    let total = samples.values().sum::<f64>();
+    total / samples.len() as f64
+}
+
+fn total_weight(weights: HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for w in weights.values() {
+        acc += w;
+    }
+    acc
+}

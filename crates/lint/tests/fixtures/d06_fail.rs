@@ -1,0 +1,14 @@
+//! D06 fixture — escape-hygiene violations: a pragma with no reason, a
+//! pragma naming a rule that doesn't exist, and a stale pragma that no
+//! longer suppresses anything.
+
+// det-allow(D02)
+struct NoReason {
+    m: HashMap<u64, u32>,
+}
+
+// det-allow(D99): such a rule does not exist
+fn unknown_rule() {}
+
+// det-allow(D04): stale — the threading this excused was removed
+fn stale() {}

@@ -1,0 +1,7 @@
+//! D06 fixture — a well-formed escape: it names a real rule, carries a
+//! reason, and sits directly above the finding it suppresses.
+
+struct RequestIndex {
+    // det-allow(D02): lookup-only — keyed by request id, never iterated
+    owner: HashMap<u64, u32>,
+}

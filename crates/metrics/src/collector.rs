@@ -7,7 +7,7 @@
 //! client, first output token, completion — plus token accounting, and
 //! reduces them to a [`RunReport`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use skywalker_sim::SimTime;
 
@@ -57,7 +57,7 @@ pub enum RequestOutcome {
 /// ```
 #[derive(Debug, Default)]
 pub struct RequestTracker {
-    records: HashMap<u64, Record>,
+    records: BTreeMap<u64, Record>,
     failed: u64,
     retried: u64,
 }

@@ -18,7 +18,7 @@
 //! decomposition, which satisfies the same conservation invariant
 //! against the client-observed TTFT.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use skywalker_sim::{SimDuration, SimTime};
 
@@ -192,7 +192,7 @@ impl Attribution {
     pub fn from_summary(summary: &TraceSummary) -> Attribution {
         // Replica-level annotations first: stall windows refine the
         // admission-wait of every request pending there.
-        let mut stalls: HashMap<u32, Vec<(SimTime, SimTime)>> = HashMap::new();
+        let mut stalls: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
         for ev in &summary.events {
             if let TraceEventKind::ReplicaStall { replica, until } = ev.kind {
                 stalls.entry(replica).or_default().push((ev.at, until));
@@ -203,7 +203,7 @@ impl Attribution {
         // engine hands events out in virtual-time order, so each group
         // is already chronological).
         let mut order: Vec<u64> = Vec::new();
-        let mut timelines: HashMap<u64, Vec<(SimTime, TraceEventKind)>> = HashMap::new();
+        let mut timelines: BTreeMap<u64, Vec<(SimTime, TraceEventKind)>> = BTreeMap::new();
         for ev in &summary.events {
             if let Some(req) = ev.kind.request() {
                 let line = timelines.entry(req).or_insert_with(|| {
@@ -270,7 +270,7 @@ fn stall_overlap(a: SimTime, b: SimTime, windows: &[(SimTime, SimTime)]) -> SimD
 fn attribute_one(
     req: u64,
     timeline: &[(SimTime, TraceEventKind)],
-    stalls: &HashMap<u32, Vec<(SimTime, SimTime)>>,
+    stalls: &BTreeMap<u32, Vec<(SimTime, SimTime)>>,
 ) -> RequestTrace {
     // Split the parallel first-token-delivery leg off the main chain.
     let mut chain: Vec<(SimTime, TraceEventKind)> = Vec::with_capacity(timeline.len());

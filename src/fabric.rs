@@ -810,9 +810,9 @@ struct Fabric {
     /// network stream, so sources cannot perturb latency sampling).
     traffic_rng: DetRng,
     /// RequestId → issuing client.
-    req_client: HashMap<u64, usize>,
+    req_client: HashMap<u64, usize>, // det-allow(D02): lookup-only — keyed by request id, never iterated
     /// RequestId → balancer that dispatched it locally.
-    req_lb: HashMap<u64, u32>,
+    req_lb: HashMap<u64, u32>, // det-allow(D02): lookup-only — keyed by request id, never iterated
     kv_series: Vec<TimeSeries>,
     peak_outstanding: Vec<u32>,
     active_clients: usize,
@@ -833,7 +833,7 @@ struct Fabric {
     drains: u64,
     crashes: u64,
     /// Requests already given their one post-crash reroute.
-    rerouted_once: HashSet<u64>,
+    rerouted_once: HashSet<u64>, // det-allow(D02): membership-only — insert/contains, never iterated
     /// Span recorder, attached when [`FabricConfig::trace`] is set.
     tracer: Option<TraceRecorder>,
     /// Per-replica cumulative evicted-token counts at the last trace

@@ -1,0 +1,103 @@
+//! The reproducibility contract, asserted dynamically: running the same
+//! preset twice in one process — and again through the lab's parallel
+//! executor — must produce byte-identical metric digests. This is the
+//! runtime complement of `skywalker-lint` (which enforces the same
+//! contract statically) and of `tests/golden_digests.rs` (which pins
+//! digests *across* builds): here we pin them *within* a build, where a
+//! violation points at ambient state rather than intended change.
+
+use skywalker::{
+    fig8_recipe, fig8_scenario, memory_pressure_scenario, run_scenario, EngineSpec, FabricConfig,
+    RunSummary, Scenario, SystemKind, Workload,
+};
+use skywalker_lab::SweepSpec;
+use skywalker_metrics::json::{Report, Val};
+
+/// Renders one run's aggregates as a stable JSON document. Every field
+/// that feeds the golden digests is included, so equality here means
+/// equality there.
+fn digest(tag: &str, seed: u64, s: &RunSummary) -> String {
+    let r = &s.report;
+    let mut rep = Report::new(format!("double_run_{tag}"));
+    rep.row(&[
+        ("seed", Val::from(seed)),
+        ("label", Val::from(s.label.clone())),
+        ("engine", Val::from(s.engine_label.clone())),
+        ("completed", Val::from(r.completed)),
+        ("failed", Val::from(r.failed)),
+        ("retried", Val::from(r.retried)),
+        ("in_flight", Val::from(r.in_flight)),
+        ("prompt_tokens", Val::from(r.prompt_tokens)),
+        ("cached_prompt_tokens", Val::from(r.cached_prompt_tokens)),
+        ("generated_tokens", Val::from(r.generated_tokens)),
+        ("tok_s", Val::from(r.throughput_tps)),
+        ("client_hit_rate", Val::from(r.cache_hit_rate)),
+        ("replica_hit_rate", Val::from(s.replica_hit_rate)),
+        ("ttft_p50_s", Val::from(r.ttft.p50)),
+        ("ttft_p90_s", Val::from(r.ttft.p90)),
+        ("ttft_mean_s", Val::from(r.ttft.mean)),
+        ("e2e_p50_s", Val::from(r.e2e.p50)),
+        ("e2e_p90_s", Val::from(r.e2e.p90)),
+        ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+        ("forwarded", Val::from(s.forwarded)),
+        ("peak_lb_queue", Val::from(s.peak_lb_queue)),
+        ("dispatch_imbalance", Val::from(s.dispatch_imbalance)),
+        ("preempted", Val::from(s.preempted)),
+        ("evicted_tokens", Val::from(s.evicted_tokens)),
+        ("fleet_crashes", Val::from(s.fleet.crashes)),
+    ]);
+    rep.render()
+}
+
+fn assert_double_run(tag: &str, build: impl Fn(u64) -> Scenario) {
+    for seed in [1u64, 7] {
+        let cfg = FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        };
+        let first = digest(tag, seed, &run_scenario(&build(seed), &cfg));
+        let second = digest(tag, seed, &run_scenario(&build(seed), &cfg));
+        assert_eq!(
+            first, second,
+            "{tag}/seed {seed}: two in-process runs diverged — ambient state leaked into the sim"
+        );
+    }
+}
+
+#[test]
+fn fig8_preset_is_stable_across_reruns() {
+    assert_double_run("fig8", |seed| {
+        fig8_scenario(SystemKind::SkyWalker, Workload::Tot, 0.02, seed)
+    });
+}
+
+#[test]
+fn memory_pressure_preset_is_stable_across_reruns() {
+    assert_double_run("memory_pressure", |seed| {
+        memory_pressure_scenario(EngineSpec::default(), 0.25, seed)
+    });
+}
+
+/// The lab's slot-addressed pool must be invisible in the results: the
+/// same sweep at 1 worker and at 2 workers renders the same JSON.
+#[test]
+fn lab_sweep_is_worker_count_invariant() {
+    let sweep = || {
+        SweepSpec::new("double-run", 42)
+            .replicates(2)
+            .cell(
+                "skywalker-tot",
+                fig8_recipe(SystemKind::SkyWalker, Workload::Tot, 0.02),
+            )
+            .cell(
+                "least-load-tot",
+                fig8_recipe(SystemKind::LeastLoad, Workload::Tot, 0.02),
+            )
+    };
+    let serial = sweep().run(1).report().json_string();
+    let parallel = sweep().run(2).report().json_string();
+    assert_eq!(
+        serial, parallel,
+        "sweep results must be bit-identical at any worker count"
+    );
+}
