@@ -1,0 +1,137 @@
+//! What telemetry costs: the micro price of the two hot calls
+//! ([`QuantileSketch::record`] and [`MetricsRegistry::observe`]) and the
+//! end-to-end wall-clock overhead of running a preset with the metrics
+//! plane sampling, swept across cadences.
+//!
+//! The cadence sweep is the headline: sampling is a per-tick cost, so
+//! the overhead should scale with tick count, not with traffic. The
+//! three arms — off, 1 s, 100 ms — make that visible: if 100 ms is not
+//! roughly 10× the 1 s *tick* count at similar per-tick price, the
+//! sampler has a scaling bug.
+//!
+//! Emits `BENCH_telemetry_overhead.json` next to the other artifacts.
+
+use std::time::Instant;
+
+use skywalker::sim::SimDuration;
+use skywalker::{memory_pressure_scenario, run_scenario, EngineSpec, FabricConfig};
+use skywalker_bench::json::{Report, Val};
+use skywalker_bench::micro::{bench, black_box};
+use skywalker_telemetry::{MetricsRegistry, QuantileSketch};
+
+/// Micro-benchmarks: one sketch insert, and one labeled registry
+/// observe (key construction + BTreeMap lookup + sketch insert — the
+/// full price the fabric pays per TTFT).
+fn bench_hot_calls(rep: &mut Report) {
+    let mut sketch = QuantileSketch::new();
+    let mut i: u64 = 0;
+    let ns_sketch = bench("telemetry/sketch_record", || {
+        sketch.record(black_box(0.001 + (i % 1000) as f64 * 0.004));
+        i += 1;
+    });
+    rep.row(&[
+        ("name", Val::from("telemetry/sketch_record")),
+        ("ns_per_iter", Val::from(ns_sketch)),
+    ]);
+    black_box(sketch.count());
+
+    let mut reg = MetricsRegistry::new();
+    let mut j: u64 = 0;
+    let ns_observe = bench("telemetry/registry_observe", || {
+        reg.observe(
+            "skywalker_ttft_seconds",
+            &[("region", black_box("us-east-1"))],
+            0.001 + (j % 1000) as f64 * 0.004,
+        );
+        j += 1;
+    });
+    rep.row(&[
+        ("name", Val::from("telemetry/registry_observe")),
+        ("ns_per_iter", Val::from(ns_observe)),
+    ]);
+    black_box(reg.len());
+}
+
+const SCALE: f64 = 1.0;
+
+/// Runs `memory_pressure` once; returns (wall seconds, telemetry ticks).
+fn one_run(cadence: Option<SimDuration>, seed: u64) -> (f64, u64) {
+    let scenario = memory_pressure_scenario(EngineSpec::default(), SCALE, seed);
+    let mut cfg = FabricConfig {
+        seed,
+        ..FabricConfig::default()
+    };
+    if let Some(interval) = cadence {
+        cfg = cfg.telemetry(interval);
+    }
+    let start = Instant::now();
+    let summary = run_scenario(&scenario, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    let ticks = summary.telemetry.as_ref().map_or(0, |t| t.ticks);
+    black_box(summary.report.completed);
+    (secs, ticks)
+}
+
+/// The cadence sweep: min-of-N wall clock for off / 1 s / 100 ms,
+/// interleaved so thermal drift hits every arm alike.
+fn bench_cadence_sweep(rep: &mut Report) {
+    const REPS: usize = 10;
+    const SEED: u64 = 2;
+    let arms: [(&str, Option<SimDuration>); 3] = [
+        ("off", None),
+        ("1s", Some(SimDuration::from_secs(1))),
+        ("100ms", Some(SimDuration::from_millis(100))),
+    ];
+
+    // Warm-up, unmeasured.
+    for (_, cadence) in arms {
+        one_run(cadence, SEED);
+    }
+
+    let mut best = [f64::INFINITY; 3];
+    let mut ticks = [0u64; 3];
+    for _ in 0..REPS {
+        for (slot, (_, cadence)) in arms.iter().enumerate() {
+            let (t, k) = one_run(*cadence, SEED);
+            best[slot] = best[slot].min(t);
+            ticks[slot] = k;
+        }
+    }
+
+    let off = best[0];
+    for (slot, (label, _)) in arms.iter().enumerate() {
+        let overhead_pct = 100.0 * (best[slot] - off) / off;
+        let per_tick_us = if ticks[slot] > 0 {
+            (best[slot] - off) * 1e6 / ticks[slot] as f64
+        } else {
+            0.0
+        };
+        println!(
+            "memory_pressure scale {SCALE} seed {SEED} telemetry={label}: {:.2} ms \
+             ({overhead_pct:+.1}%), {} ticks, {per_tick_us:.2} µs/tick amortized",
+            best[slot] * 1e3,
+            ticks[slot],
+        );
+        rep.row(&[
+            (
+                "name",
+                Val::from(format!("memory_pressure/telemetry_{label}")),
+            ),
+            ("wall_ms", Val::from(best[slot] * 1e3)),
+            ("overhead_pct", Val::from(overhead_pct)),
+            ("ticks", Val::from(ticks[slot])),
+            ("amortized_us_per_tick", Val::from(per_tick_us)),
+        ]);
+    }
+}
+
+fn main() {
+    let mut rep = Report::new("telemetry_overhead");
+    rep.meta("preset", "memory_pressure scale=1.0 seed=2");
+    rep.meta("cadences", "off / 1s / 100ms");
+    bench_hot_calls(&mut rep);
+    bench_cadence_sweep(&mut rep);
+    if let Err(e) = rep.write("BENCH_telemetry_overhead.json") {
+        eprintln!("could not write BENCH_telemetry_overhead.json: {e}");
+    }
+}

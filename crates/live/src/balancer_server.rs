@@ -24,7 +24,9 @@ use std::time::Duration;
 use skywalker_core::{BalancerConfig, Decision, LbId, PolicyFactory, RegionalBalancer};
 use skywalker_net::{read_frame, write_frame, Message, Region};
 use skywalker_replica::{ReplicaId, Request};
+use skywalker_telemetry::{prometheus_text, MetricsRegistry};
 
+use crate::scrape::{is_ascii_scrape, serve_ascii_scrape};
 use crate::sync::Mutex;
 
 struct Shared {
@@ -42,6 +44,28 @@ struct Shared {
 }
 
 impl Shared {
+    /// Renders the balancer's current state as a Prometheus exposition.
+    fn metrics_text(&self) -> String {
+        let (stats, queue_len, avail, region) = {
+            let lb = self.lb.lock();
+            let (avail, _) = lb.status();
+            (lb.stats(), lb.queue_len(), avail, lb.region())
+        };
+        let mut reg = MetricsRegistry::new();
+        let labels = [("region", region.name())];
+        reg.inc("skywalker_lb_received_total", &labels, stats.received);
+        reg.inc(
+            "skywalker_lb_dispatched_local_total",
+            &labels,
+            stats.dispatched_local,
+        );
+        reg.inc("skywalker_lb_forwarded_total", &labels, stats.forwarded);
+        reg.set_gauge("skywalker_lb_queue_depth", &labels, queue_len as f64);
+        reg.set_gauge("skywalker_lb_peak_queue", &labels, stats.peak_queue as f64);
+        reg.set_gauge("skywalker_lb_available_replicas", &labels, f64::from(avail));
+        prometheus_text(&reg.snapshot())
+    }
+
     /// Runs the dispatch loop and ships every decision out.
     fn try_dispatch(&self) {
         let decisions = self.lb.lock().dispatch();
@@ -138,8 +162,18 @@ impl BalancerServer {
                     }
                     let Ok(stream) = conn else { break };
                     let shared = Arc::clone(&shared);
-                    let (tx, rx) = channel::<Message>();
-                    std::thread::spawn(move || connection(shared, stream, tx, rx, None));
+                    // The peek happens on this inbound-only path: an
+                    // outbound peer/replica link never opens with a
+                    // scrape, and peeking there would block on a peer
+                    // that speaks only when spoken to.
+                    std::thread::spawn(move || {
+                        if is_ascii_scrape(&stream) {
+                            serve_ascii_scrape(stream, &shared.metrics_text());
+                            return;
+                        }
+                        let (tx, rx) = channel::<Message>();
+                        connection(shared, stream, tx, rx, None)
+                    });
                 }
             }));
         }
@@ -284,6 +318,11 @@ fn connection(
                 let _ = tx.send(Message::LbStatus {
                     available_replicas: avail,
                     queue_len: qlen,
+                });
+            }
+            Message::MetricsRequest => {
+                let _ = tx.send(Message::MetricsText {
+                    text: shared.metrics_text(),
                 });
             }
             Message::Shutdown => break,

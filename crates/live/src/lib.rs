@@ -16,6 +16,13 @@
 //! - [`LiveClient`] — a blocking client measuring TTFT and end-to-end
 //!   latency over the wire.
 //!
+//! Both servers expose a `/metrics` scrape (`docs/telemetry.md`): a
+//! framed `MetricsRequest` (see [`scrape_metrics`]) or a plain ASCII
+//! `GET` — `printf 'GET /metrics\r\n\r\n' | nc 127.0.0.1 <port>` — is
+//! answered with a Prometheus text exposition of the component's
+//! counters and gauges, so a running cluster is observable with nothing
+//! but a shell.
+//!
 //! Everything binds `127.0.0.1`; "regions" differ only in the balancer
 //! configuration (the simulator is where WAN latency is modeled — here
 //! the point is exercising the real concurrency and the real protocol).
@@ -23,11 +30,13 @@
 mod balancer_server;
 mod client;
 mod replica_server;
+mod scrape;
 mod sync;
 
 pub use balancer_server::BalancerServer;
 pub use client::{ClientError, LiveClient, LiveOutcome};
 pub use replica_server::ReplicaServer;
+pub use scrape::scrape_metrics;
 
 #[cfg(test)]
 mod tests {

@@ -19,7 +19,9 @@ use std::time::Duration;
 
 use skywalker_net::{read_frame, write_frame, Message};
 use skywalker_replica::{GpuProfile, Replica, ReplicaId, Request};
+use skywalker_telemetry::{prometheus_text, MetricsRegistry};
 
+use crate::scrape::{is_ascii_scrape, serve_ascii_scrape};
 use crate::sync::Mutex;
 
 struct Shared {
@@ -29,6 +31,51 @@ struct Shared {
     shutdown: AtomicBool,
     /// Wall seconds per simulated second (0.05 = 20× faster than real).
     time_scale: f64,
+}
+
+impl Shared {
+    /// Renders the replica's current state as a Prometheus exposition.
+    fn metrics_text(&self) -> String {
+        let (id, pending, running, kv, stats) = {
+            let r = self.replica.lock();
+            (
+                r.id(),
+                r.pending_len(),
+                r.running_len(),
+                r.kv_utilization(),
+                r.stats(),
+            )
+        };
+        let id = format!("{}", id.0);
+        let labels = [("replica", id.as_str())];
+        let mut reg = MetricsRegistry::new();
+        reg.inc("skywalker_replica_admitted_total", &labels, stats.admitted);
+        reg.inc(
+            "skywalker_replica_completed_total",
+            &labels,
+            stats.completed,
+        );
+        reg.inc(
+            "skywalker_replica_prompt_tokens_total",
+            &labels,
+            stats.prompt_tokens,
+        );
+        reg.inc(
+            "skywalker_replica_cached_prompt_tokens_total",
+            &labels,
+            stats.cached_prompt_tokens,
+        );
+        reg.inc(
+            "skywalker_replica_generated_tokens_total",
+            &labels,
+            stats.generated_tokens,
+        );
+        reg.set_gauge("skywalker_replica_pending", &labels, pending as f64);
+        reg.set_gauge("skywalker_replica_running", &labels, running as f64);
+        reg.set_gauge("skywalker_kv_utilization", &labels, kv);
+        reg.set_gauge("skywalker_replica_hit_ratio", &labels, stats.hit_rate());
+        prometheus_text(&reg.snapshot())
+    }
 }
 
 /// A running replica server bound to 127.0.0.1.
@@ -158,6 +205,12 @@ fn stepper(shared: Arc<Shared>) {
 }
 
 fn connection(shared: Arc<Shared>, stream: TcpStream) {
+    // Every replica connection is inbound, so the scrape peek is safe
+    // here: a framed peer's first byte is a length prefix ≤ 0x01.
+    if is_ascii_scrape(&stream) {
+        serve_ascii_scrape(stream, &shared.metrics_text());
+        return;
+    }
     let Ok(mut reader) = stream.try_clone() else {
         return;
     };
@@ -202,6 +255,11 @@ fn connection(shared: Arc<Shared>, stream: TcpStream) {
                     pending,
                     running,
                     kv_utilization_ppt: kv,
+                });
+            }
+            Message::MetricsRequest => {
+                let _ = tx.send(Message::MetricsText {
+                    text: shared.metrics_text(),
                 });
             }
             Message::Shutdown => break,

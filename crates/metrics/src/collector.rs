@@ -148,6 +148,13 @@ impl RequestTracker {
         }
     }
 
+    /// When `id` arrived, or `None` if it was never registered. Lets
+    /// observers (the telemetry plane's TTFT sketch) compute latencies
+    /// without shadow-tracking arrival times.
+    pub fn arrival_time(&self, id: u64) -> Option<SimTime> {
+        self.records.get(&id).map(|r| r.arrived)
+    }
+
     /// The forwarding-chain length recorded for `id`, or `None` if the
     /// request never reached a balancer (or was never registered).
     pub fn hops_of(&self, id: u64) -> Option<u8> {
@@ -241,18 +248,9 @@ impl RequestTracker {
             } else {
                 0.0
             },
-            ttft: {
-                let mut h = ttft;
-                h.summary()
-            },
-            e2e: {
-                let mut h = e2e;
-                h.summary()
-            },
-            hops: {
-                let mut h = hops;
-                h.summary()
-            },
+            ttft: ttft.summary(),
+            e2e: e2e.summary(),
+            hops: hops.summary(),
         }
     }
 }

@@ -4,7 +4,17 @@
 //! latencies per run, so exact percentiles are affordable: samples are kept
 //! verbatim and sorted lazily on query. This avoids the bin-resolution
 //! artifacts of approximate sketches, which matter when the paper's claims
-//! are ratios of P90s.
+//! are ratios of P90s. (For million-request streams and mid-run queries,
+//! `skywalker-telemetry`'s `QuantileSketch` trades a bounded relative error
+//! for O(buckets) memory.)
+//!
+//! Queries take `&self`: the sorted state lives in an interior cache
+//! (invalidated by `record`/`merge`, rebuilt at most once per batch of
+//! queries), so read paths never need a `mut` binding. The cache makes
+//! `Histogram` `!Sync`; share it across threads by cloning or merging, not
+//! by reference.
+
+use std::cell::{Cell, Ref, RefCell};
 
 /// The box-plot summary the paper draws for every latency distribution:
 /// P10/P90 whiskers, P25/P75 box, P50 median line, and the mean marker.
@@ -67,16 +77,16 @@ impl Summary {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    samples: Vec<f64>,
-    sorted: bool,
+    samples: RefCell<Vec<f64>>,
+    sorted: Cell<bool>,
 }
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            samples: Vec::new(),
-            sorted: true,
+            samples: RefCell::new(Vec::new()),
+            sorted: Cell::new(true),
         }
     }
 
@@ -85,62 +95,73 @@ impl Histogram {
     /// them, but defensive harness code might divide by zero.
     pub fn record(&mut self, v: f64) {
         if v.is_finite() {
-            self.samples.push(v);
-            self.sorted = false;
+            self.samples.get_mut().push(v);
+            self.sorted.set(false);
         }
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.samples.borrow().is_empty()
     }
 
     /// Merges all samples from `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.samples
+            .get_mut()
+            .extend_from_slice(&other.samples.borrow());
+        self.sorted.set(false);
     }
 
     /// The arithmetic mean, or 0 for an empty histogram.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        samples.iter().sum::<f64>() / samples.len() as f64
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`) by linear interpolation between
-    /// closest ranks, or 0 for an empty histogram.
-    pub fn quantile(&mut self, q: f64) -> f64 {
-        if self.samples.is_empty() {
+    /// closest ranks, or 0 for an empty histogram. Sorts lazily through the
+    /// interior cache: the first query after a `record`/`merge` pays one
+    /// sort, repeat queries are O(1) lookups.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
         let q = q.clamp(0.0, 1.0);
-        let pos = q * (self.samples.len() - 1) as f64;
+        let pos = q * (samples.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
         if lo == hi {
-            self.samples[lo]
+            samples[lo]
         } else {
             let frac = pos - lo as f64;
-            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+            samples[lo] * (1.0 - frac) + samples[hi] * frac
         }
     }
 
     /// The full box-plot summary.
-    pub fn summary(&mut self) -> Summary {
-        if self.samples.is_empty() {
+    pub fn summary(&self) -> Summary {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return Summary::EMPTY;
         }
-        self.ensure_sorted();
+        let count = samples.len();
+        let min = samples[0];
+        let max = *samples.last().expect("non-empty");
+        drop(samples);
         Summary {
-            count: self.samples.len(),
+            count,
             p10: self.quantile(0.10),
             p25: self.quantile(0.25),
             p50: self.quantile(0.50),
@@ -148,22 +169,24 @@ impl Histogram {
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
             mean: self.mean(),
-            min: self.samples[0],
-            max: *self.samples.last().expect("non-empty"),
+            min,
+            max,
         }
     }
 
     /// Read-only view of the raw samples (unsorted insertion order is not
-    /// preserved once a quantile has been queried).
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
+    /// preserved once a quantile has been queried). The returned guard
+    /// borrows the interior cache; drop it before calling `record`/`merge`.
+    pub fn samples(&self) -> Ref<'_, [f64]> {
+        Ref::map(self.samples.borrow(), Vec::as_slice)
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
             self.samples
+                .borrow_mut()
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
-            self.sorted = true;
+            self.sorted.set(true);
         }
     }
 }
@@ -174,7 +197,7 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zeroed() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.summary(), Summary::EMPTY);
         assert_eq!(h.quantile(0.5), 0.0);
@@ -232,6 +255,19 @@ mod tests {
         assert_eq!(h.quantile(0.0), 1.0);
         h.record(0.5);
         assert_eq!(h.quantile(0.0), 0.5);
+    }
+
+    #[test]
+    fn queries_take_shared_references() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.record(v);
+        }
+        // No `mut` binding needed on the read path.
+        let r: &Histogram = &h;
+        assert_eq!(r.quantile(0.5), 2.0);
+        assert_eq!(r.summary().count, 3);
+        assert_eq!(&*r.samples(), &[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -116,6 +116,13 @@ pub enum Message {
     },
     /// Orderly shutdown notice.
     Shutdown,
+    /// Any → LB/replica: ask for the current metrics snapshot.
+    MetricsRequest,
+    /// LB/replica → any: Prometheus text exposition of the snapshot.
+    MetricsText {
+        /// The rendered exposition (`# TYPE` lines, samples).
+        text: String,
+    },
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -200,6 +207,8 @@ impl Message {
             Message::LbStatus { .. } => 7,
             Message::Reject { .. } => 8,
             Message::Shutdown => 9,
+            Message::MetricsRequest => 10,
+            Message::MetricsText { .. } => 11,
         }
     }
 
@@ -232,7 +241,10 @@ impl Message {
                 put_u32(&mut buf, *generated);
                 put_u32(&mut buf, *cached_prompt_tokens);
             }
-            Message::ProbeReplica | Message::ProbeLb | Message::Shutdown => {}
+            Message::ProbeReplica
+            | Message::ProbeLb
+            | Message::Shutdown
+            | Message::MetricsRequest => {}
             Message::ReplicaStatus {
                 pending,
                 running,
@@ -253,6 +265,7 @@ impl Message {
                 put_u64(&mut buf, *request_id);
                 put_str(&mut buf, reason);
             }
+            Message::MetricsText { text } => put_str(&mut buf, text),
         }
         buf
     }
@@ -300,6 +313,8 @@ impl Message {
                 reason: c.string()?,
             },
             9 => Message::Shutdown,
+            10 => Message::MetricsRequest,
+            11 => Message::MetricsText { text: c.string()? },
             t => return Err(WireError::BadTag(t)),
         };
         Ok(msg)
@@ -368,6 +383,11 @@ mod tests {
                 reason: "hop limit".to_string(),
             },
             Message::Shutdown,
+            Message::MetricsRequest,
+            Message::MetricsText {
+                text: "# TYPE skywalker_lb_queue_depth gauge\nskywalker_lb_queue_depth 3\n"
+                    .to_string(),
+            },
         ]
     }
 

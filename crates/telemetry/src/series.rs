@@ -1,0 +1,201 @@
+//! Ring-buffered time series and ASCII sparklines.
+//!
+//! The fabric's telemetry tick samples gauges into fixed-capacity rings so a
+//! multi-hour run keeps bounded memory: once full, the oldest point is
+//! dropped and an honest `dropped` counter increments (the same contract as
+//! the tracer's capacity bound — never silently lossy).
+
+use std::collections::VecDeque;
+
+use skywalker_sim::SimTime;
+
+/// The sparkline glyph ramp, lowest to highest.
+const RAMP: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+
+/// A named, fixed-capacity time series of `(sim time, value)` points.
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_sim::SimTime;
+/// use skywalker_telemetry::RingSeries;
+///
+/// let mut s = RingSeries::new("queue_depth", 3);
+/// for i in 0..5u64 {
+///     s.record(SimTime::from_secs(i), i as f64);
+/// }
+/// assert_eq!(s.len(), 3); // capacity bound
+/// assert_eq!(s.dropped(), 2); // honest drop counter
+/// assert_eq!(s.latest(), Some((SimTime::from_secs(4), 4.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSeries {
+    name: String,
+    capacity: usize,
+    points: VecDeque<(SimTime, f64)>,
+    dropped: u64,
+}
+
+impl RingSeries {
+    /// Creates an empty series holding at most `capacity` points
+    /// (minimum 1).
+    pub fn new(name: &str, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSeries {
+            name: name.to_string(),
+            capacity,
+            points: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of retained points.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of points evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a point, evicting the oldest if at capacity. Non-finite
+    /// values are ignored.
+    pub fn record(&mut self, at: SimTime, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back((at, v));
+    }
+
+    /// Iterates retained points oldest-first.
+    pub fn points(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The retained values oldest-first.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The most recent point, if any.
+    pub fn latest(&self) -> Option<(SimTime, f64)> {
+        self.points.back().copied()
+    }
+
+    /// The largest retained value (0 if empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Renders the series as a `width`-column ASCII sparkline: retained
+    /// points are resampled into `width` equal-count windows (window mean),
+    /// then normalized min→max onto an 8-glyph ramp. An empty series
+    /// renders as spaces.
+    pub fn sparkline(&self, width: usize) -> String {
+        sparkline(&self.values(), width)
+    }
+}
+
+/// Renders `values` as a `width`-column sparkline (see
+/// [`RingSeries::sparkline`]).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    if values.is_empty() {
+        return " ".repeat(width);
+    }
+    // Resample into `width` windows by mean.
+    let mut cols = Vec::with_capacity(width);
+    for c in 0..width {
+        let lo = c * values.len() / width;
+        let hi = (((c + 1) * values.len()).div_ceil(width)).max(lo + 1);
+        let hi = hi.min(values.len());
+        let window = &values[lo.min(values.len() - 1)..hi];
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        cols.push(mean);
+    }
+    let min = cols.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = cols.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    cols.iter()
+        .map(|&v| {
+            let t = if span > 0.0 { (v - min) / span } else { 0.0 };
+            let i = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            RAMP[i]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bound_is_honest() {
+        let mut s = RingSeries::new("x", 4);
+        for i in 0..10u64 {
+            s.record(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.values(), vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    fn non_finite_points_ignored() {
+        let mut s = RingSeries::new("x", 4);
+        s.record(SimTime::ZERO, f64::NAN);
+        s.record(SimTime::ZERO, f64::INFINITY);
+        assert!(s.is_empty());
+        assert_eq!(s.latest(), None);
+    }
+
+    #[test]
+    fn sparkline_shape_tracks_values() {
+        let ramp: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let line = sparkline(&ramp, 8);
+        assert_eq!(line.chars().count(), 8);
+        let first = line.chars().next().unwrap();
+        let last = line.chars().last().unwrap();
+        assert_eq!(first, RAMP[0]);
+        assert_eq!(last, RAMP[7]);
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_empty() {
+        assert_eq!(sparkline(&[], 4), "    ");
+        let flat = sparkline(&[2.0, 2.0, 2.0], 3);
+        assert!(flat.chars().all(|c| c == RAMP[0]));
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+
+    #[test]
+    fn sparkline_wider_than_data_repeats_windows() {
+        let line = sparkline(&[1.0, 5.0], 6);
+        assert_eq!(line.chars().count(), 6);
+    }
+}

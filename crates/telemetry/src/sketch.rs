@@ -1,0 +1,444 @@
+//! Mergeable log-bucketed quantile sketch.
+//!
+//! [`Histogram`](skywalker_metrics::Histogram) keeps every sample, which is
+//! exact but costs O(n) memory and an O(n log n) sort per query — the wrong
+//! trade for million-request runs or for answering "what is the P90 *right
+//! now*" mid-flight. `QuantileSketch` trades a bounded *relative* error for
+//! O(buckets) memory and query time: values are counted in exponentially
+//! sized buckets (`bucket i` covers `(γ^(i-1), γ^i]` with
+//! `γ = (1+α)/(1−α)`), so any quantile estimate is within a factor `α` of an
+//! exact sample at that rank. Counts and the sum stay exact.
+//!
+//! Determinism: buckets are integer indices in a `BTreeMap`, all counters are
+//! integers, and merging two sketches adds bucket counts — so a merge of two
+//! sketches is order-invariant (`merge(a, b)` and `merge(b, a)` produce
+//! byte-identical state, checkable via [`QuantileSketch::digest`]).
+
+use std::collections::BTreeMap;
+
+use skywalker_metrics::Summary;
+
+/// The default relative-error bound `α` (1%): a reported P90 of 100ms means
+/// the exact rank-0.90 sample lies in `[99ms, 101ms]`.
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// Values at or below this threshold land in the dedicated zero bucket and
+/// are reported as exactly `0.0`. A relative-error guarantee is meaningless
+/// arbitrarily close to zero (the bucket index `ln(v)/ln(γ)` diverges), and
+/// sub-picosecond latencies are below the simulator's microsecond clock
+/// resolution anyway.
+pub const MIN_TRACKED: f64 = 1e-12;
+
+/// A deterministic, mergeable quantile sketch with a fixed relative-error
+/// bound (DDSketch-style log buckets).
+///
+/// # Examples
+///
+/// ```
+/// use skywalker_telemetry::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for v in 1..=1000 {
+///     s.record(v as f64);
+/// }
+/// assert_eq!(s.count(), 1000);
+/// // p50 of 1..=1000 is ~500; the sketch is within 1% by construction.
+/// let p50 = s.quantile(0.5);
+/// assert!((p50 - 500.0).abs() / 500.0 <= 0.011, "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative-error bound `α`.
+    alpha: f64,
+    /// Bucket growth factor `γ = (1+α)/(1−α)`.
+    gamma: f64,
+    /// Cached `1 / ln(γ)` for index computation.
+    inv_ln_gamma: f64,
+    /// Bucket index → count, for values above [`MIN_TRACKED`]. Bucket `i`
+    /// covers `(γ^(i-1), γ^i]`.
+    buckets: BTreeMap<i32, u64>,
+    /// Count of values at or below [`MIN_TRACKED`] (reported as 0.0).
+    zero_count: u64,
+    /// Exact total count.
+    count: u64,
+    /// Exact sum of recorded values (clamped to ≥ 0).
+    sum: f64,
+    /// Exact smallest recorded value (∞ while empty).
+    min: f64,
+    /// Exact largest recorded value (−∞ while empty).
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with the default 1% relative-error bound.
+    pub fn new() -> Self {
+        QuantileSketch::with_relative_error(DEFAULT_RELATIVE_ERROR)
+    }
+
+    /// Creates an empty sketch with relative-error bound `alpha`, clamped to
+    /// `[0.0001, 0.25]`. Smaller `alpha` means more buckets: covering
+    /// `1µs..1e6s` takes `ln(1e12)/ln(γ)` buckets — about 1,382 at 1% and
+    /// 276 at 5%.
+    pub fn with_relative_error(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() {
+            alpha
+        } else {
+            DEFAULT_RELATIVE_ERROR
+        };
+        let alpha = alpha.clamp(1e-4, 0.25);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative-error bound `α`.
+    pub fn relative_error(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one observation. Non-finite values are ignored; negative
+    /// values are clamped to 0 (the sketch models non-negative measurements
+    /// such as latencies and queue depths).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let v = v.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= MIN_TRACKED {
+            self.zero_count += 1;
+        } else {
+            let idx = self.index_of(v);
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Exact number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean, or 0 for an empty sketch.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest recorded value, or 0 for an empty sketch.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value, or 0 for an empty sketch.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Number of occupied buckets (memory is proportional to this, not to
+    /// the number of observations).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero_count > 0)
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`), or 0 for an
+    /// empty sketch.
+    ///
+    /// The estimate is within relative error `α` of the exact sample at the
+    /// nearest rank `round(q·(n−1))`: walking buckets in index order finds
+    /// the bucket holding that rank, and the bucket's midpoint-in-ratio
+    /// value `2γ^i/(γ+1)` is within `α` of every value the bucket covers.
+    /// The result is additionally clamped to the exact `[min, max]` range,
+    /// which can only tighten the bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank < self.zero_count {
+            return 0.0;
+        }
+        let mut cum = self.zero_count;
+        for (&idx, &c) in &self.buckets {
+            cum += c;
+            if cum > rank {
+                return self.bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// The box-plot summary over the sketch: approximate percentiles
+    /// (within `α`), exact count/mean/min/max.
+    pub fn summary(&self) -> Summary {
+        if self.count == 0 {
+            return Summary::EMPTY;
+        }
+        Summary {
+            count: self.count as usize,
+            p10: self.quantile(0.10),
+            p25: self.quantile(0.25),
+            p50: self.quantile(0.50),
+            p75: self.quantile(0.75),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
+    /// Merges all observations from `other` into `self`. Panics if the two
+    /// sketches were built with different relative-error bounds (their
+    /// bucket grids are incompatible).
+    ///
+    /// Merging is a pairwise-commutative integer addition of bucket counts:
+    /// `merge(a, b)` and `merge(b, a)` yield byte-identical sketches (see
+    /// [`QuantileSketch::digest`]).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches with different relative-error bounds \
+             ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// An FNV-1a digest over the full sketch state (bound, buckets, counts,
+    /// sum/min/max bit patterns). Two sketches with equal digests are
+    /// byte-identical for every query; used by the property suite to prove
+    /// merge order-invariance.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn put(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        put(&mut h, self.alpha.to_bits());
+        put(&mut h, self.count);
+        put(&mut h, self.zero_count);
+        put(&mut h, self.sum.to_bits());
+        put(&mut h, self.min.to_bits());
+        put(&mut h, self.max.to_bits());
+        for (&idx, &c) in &self.buckets {
+            put(&mut h, idx as i64 as u64);
+            put(&mut h, c);
+        }
+        h
+    }
+
+    /// Bucket index for a value `> MIN_TRACKED`: `ceil(ln(v) / ln(γ))`.
+    fn index_of(&self, v: f64) -> i32 {
+        (v.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// The representative value of bucket `i`: the midpoint-in-ratio
+    /// `2γ^i/(γ+1)`, within `α` of every value in `(γ^(i-1), γ^i]`.
+    fn bucket_value(&self, idx: i32) -> f64 {
+        2.0 * self.gamma.powi(idx) / (self.gamma + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_zeroed() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.summary(), Summary::EMPTY);
+    }
+
+    #[test]
+    fn single_value_round_trips_within_bound() {
+        let mut s = QuantileSketch::new();
+        s.record(0.123);
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            let est = s.quantile(q);
+            assert!((est - 0.123).abs() / 0.123 <= s.relative_error() + 1e-9);
+        }
+        assert_eq!(s.min(), 0.123);
+        assert_eq!(s.max(), 0.123);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn zeros_and_negatives_hit_the_zero_bucket() {
+        let mut s = QuantileSketch::new();
+        s.record(0.0);
+        s.record(-5.0);
+        s.record(1e-15);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.bucket_count(), 1);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut s = QuantileSketch::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        s.record(2.0);
+        assert_eq!(s.count(), 1);
+        assert!((s.quantile(0.5) - 2.0).abs() / 2.0 <= s.relative_error() + 1e-9);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_buckets_not_samples() {
+        let mut s = QuantileSketch::new();
+        // A million observations spanning 1µs to 1000s.
+        for i in 0..1_000_000u64 {
+            let v = 1e-6 * (1.0 + (i % 1_000_000_000) as f64);
+            s.record(v);
+        }
+        assert_eq!(s.count(), 1_000_000);
+        // ln(1e9)/ln(γ) ≈ 1036 buckets at α = 1%.
+        assert!(s.bucket_count() < 1_100, "buckets = {}", s.bucket_count());
+    }
+
+    #[test]
+    fn count_and_sum_are_exact() {
+        let mut s = QuantileSketch::new();
+        let mut exact = 0.0;
+        for i in 1..=100 {
+            s.record(i as f64);
+            exact += i as f64;
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), exact);
+        assert_eq!(s.mean(), exact / 100.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for i in 1..=500 {
+            a.record(i as f64 * 0.01);
+            all.record(i as f64 * 0.01);
+        }
+        for i in 500..=1000 {
+            b.record(i as f64 * 0.01);
+            all.record(i as f64 * 0.01);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.digest(), all.digest());
+        assert_eq!(a.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn merge_is_pairwise_commutative() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for i in 0..300 {
+            a.record((i % 17) as f64 + 0.5);
+            b.record((i % 23) as f64 * 2.0);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.digest(), ba.digest());
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "different relative-error bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = QuantileSketch::with_relative_error(0.01);
+        let b = QuantileSketch::with_relative_error(0.05);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let mut s = QuantileSketch::new();
+        for i in 0..1000 {
+            s.record((i as f64).powi(2));
+        }
+        let sm = s.summary();
+        assert!(sm.min <= sm.p10);
+        assert!(sm.p10 <= sm.p25);
+        assert!(sm.p25 <= sm.p50);
+        assert!(sm.p50 <= sm.p75);
+        assert!(sm.p75 <= sm.p90);
+        assert!(sm.p90 <= sm.p99);
+        assert!(sm.p99 <= sm.max);
+    }
+
+    #[test]
+    fn wider_bound_uses_fewer_buckets() {
+        let mut fine = QuantileSketch::with_relative_error(0.01);
+        let mut coarse = QuantileSketch::with_relative_error(0.05);
+        for i in 1..=10_000 {
+            let v = (i as f64) * 1e-4;
+            fine.record(v);
+            coarse.record(v);
+        }
+        assert!(coarse.bucket_count() < fine.bucket_count());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property suite for `QuantileSketch`: the advertised relative-error
+//! bound holds against exact `Histogram` quantiles, and merging is
+//! order-invariant, across 600 seeded cases (3 distribution shapes ×
+//! 200 seeds).
+//!
+//! The bound under test is the sketch's documented contract: the
+//! estimate of quantile `q` is within relative error `α` of the exact
+//! sample at the nearest rank `round(q·(n−1))`. The exact sample is read
+//! through `Histogram::quantile` at `rank/(n−1)`, where the linear
+//! interpolation collapses to the rank's own sample — so the comparison
+//! exercises both types' public APIs with no private test math.
+
+use skywalker_metrics::Histogram;
+use skywalker_sim::DetRng;
+use skywalker_telemetry::QuantileSketch;
+
+const SEEDS_PER_SHAPE: u64 = 200;
+const QUANTILES: [f64; 3] = [0.50, 0.90, 0.99];
+
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    /// Uniform latencies in [1ms, 10s).
+    Uniform,
+    /// Lognormal (the classic latency shape): median ~135ms, heavy tail.
+    Lognormal,
+    /// Bimodal: a fast cache-hit mode around 20ms and a slow compute
+    /// mode around 2s — the shape that breaks mean-based monitoring.
+    Bimodal,
+}
+
+impl Shape {
+    const ALL: [Shape; 3] = [Shape::Uniform, Shape::Lognormal, Shape::Bimodal];
+
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        match self {
+            Shape::Uniform => 0.001 + rng.f64() * 10.0,
+            Shape::Lognormal => rng.lognormal(-2.0, 1.0),
+            Shape::Bimodal => {
+                if rng.chance(0.3) {
+                    rng.lognormal(0.7, 0.3)
+                } else {
+                    rng.lognormal(-3.9, 0.4)
+                }
+            }
+        }
+    }
+}
+
+/// One seeded case: a sample count in [500, 2000) and the samples.
+fn case_samples(shape: Shape, seed: u64) -> Vec<f64> {
+    let mut rng = DetRng::for_component(seed, &format!("sketch_props/{shape:?}"));
+    let n = 500 + (rng.below(1500) as usize);
+    (0..n).map(|_| shape.sample(&mut rng)).collect()
+}
+
+/// The exact sample at the sketch's nearest-rank convention, via the
+/// Histogram API: at `q = rank/(n−1)` the interpolation weight is ~0, so
+/// `quantile` returns the rank's own sample.
+fn exact_at_nearest_rank(hist: &Histogram, q: f64, n: usize) -> f64 {
+    let rank = (q * (n - 1) as f64).round();
+    hist.quantile(rank / (n - 1) as f64)
+}
+
+#[test]
+fn sketch_quantiles_stay_within_relative_error_bound() {
+    let mut cases = 0u64;
+    for shape in Shape::ALL {
+        for seed in 0..SEEDS_PER_SHAPE {
+            let samples = case_samples(shape, seed);
+            let n = samples.len();
+            let mut hist = Histogram::new();
+            let mut sketch = QuantileSketch::new();
+            for &v in &samples {
+                hist.record(v);
+                sketch.record(v);
+            }
+            assert_eq!(sketch.count(), n as u64);
+            let alpha = sketch.relative_error();
+            for q in QUANTILES {
+                let exact = exact_at_nearest_rank(&hist, q, n);
+                let est = sketch.quantile(q);
+                let tol = alpha * exact.abs() + 1e-9;
+                assert!(
+                    (est - exact).abs() <= tol,
+                    "{shape:?}/seed {seed}: p{q} estimate {est} vs exact {exact} \
+                     exceeds the {alpha} relative-error bound"
+                );
+            }
+            // Exact aggregates agree with the keep-every-sample view.
+            assert_eq!(sketch.min(), hist.summary().min);
+            assert_eq!(sketch.max(), hist.summary().max);
+            assert!((sketch.mean() - hist.mean()).abs() <= 1e-9 * hist.mean().abs());
+            cases += 1;
+        }
+    }
+    assert!(cases >= 500, "property suite shrank to {cases} cases");
+}
+
+#[test]
+fn sketch_merge_is_order_invariant() {
+    let mut cases = 0u64;
+    for shape in Shape::ALL {
+        for seed in 0..SEEDS_PER_SHAPE {
+            let samples = case_samples(shape, seed);
+            let cut = samples.len() / 3;
+            let mut a = QuantileSketch::new();
+            let mut b = QuantileSketch::new();
+            for &v in &samples[..cut] {
+                a.record(v);
+            }
+            for &v in &samples[cut..] {
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(
+                ab.digest(),
+                ba.digest(),
+                "{shape:?}/seed {seed}: merge(a,b) and merge(b,a) diverged"
+            );
+            assert_eq!(ab, ba);
+            for q in QUANTILES {
+                assert_eq!(ab.quantile(q), ba.quantile(q));
+            }
+            cases += 1;
+        }
+    }
+    assert!(cases >= 500, "property suite shrank to {cases} cases");
+}
+
+/// Merging shards must answer the same quantiles as one sketch fed the
+/// whole stream — the property that makes per-replica sketches
+/// aggregatable at the balancer.
+#[test]
+fn sketch_merge_matches_single_stream() {
+    for shape in Shape::ALL {
+        for seed in 0..20 {
+            let samples = case_samples(shape, seed);
+            let mut whole = QuantileSketch::new();
+            let mut shards: Vec<QuantileSketch> = (0..4).map(|_| QuantileSketch::new()).collect();
+            for (i, &v) in samples.iter().enumerate() {
+                whole.record(v);
+                shards[i % 4].record(v);
+            }
+            let mut merged = QuantileSketch::new();
+            for s in &shards {
+                merged.merge(s);
+            }
+            assert_eq!(merged.count(), whole.count());
+            for q in QUANTILES {
+                // Same buckets either way — identical estimates, not
+                // merely within-tolerance ones.
+                assert_eq!(
+                    merged.quantile(q),
+                    whole.quantile(q),
+                    "{shape:?}/seed {seed}: sharded merge diverged at p{q}"
+                );
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@ use skywalker_replica::{
     Request, RequestId,
 };
 use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
+use skywalker_telemetry::{MetricsRegistry, RingSeries, TelemetryConfig, TelemetrySummary};
 use skywalker_trace::{TraceConfig, TraceEventKind, TraceRecorder, TraceSummary};
 use skywalker_workload::{ClientEvent, ClientListSource, ClientSpec, TrafficSource};
 
@@ -565,12 +566,25 @@ pub struct FabricConfig {
     /// outcomes are byte-identical either way (pinned by the
     /// golden-digest gate).
     pub trace: Option<TraceConfig>,
+    /// Streaming metrics sampling. `None` (the default) records nothing;
+    /// `Some` attaches a labeled [`MetricsRegistry`] fed on a sim-time
+    /// cadence and the run returns a [`TelemetrySummary`]. Like tracing,
+    /// telemetry is observation-only — enabling it at any cadence leaves
+    /// run outcomes byte-identical (pinned by the golden-digest gate).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl FabricConfig {
     /// This config with span tracing enabled at the default capacity.
     pub fn traced(mut self) -> Self {
         self.trace = Some(TraceConfig::default());
+        self
+    }
+
+    /// This config with telemetry sampling enabled every `interval` of
+    /// sim time (default ring capacity).
+    pub fn telemetry(mut self, interval: SimDuration) -> Self {
+        self.telemetry = Some(TelemetryConfig::every(interval));
         self
     }
 }
@@ -591,6 +605,7 @@ impl Default for FabricConfig {
             affinity_threshold: 0.5,
             balance_abs_threshold: 32,
             trace: None,
+            telemetry: None,
         }
     }
 }
@@ -640,6 +655,10 @@ pub struct RunSummary {
     /// Feed it to `skywalker_trace::Attribution` for the per-request
     /// bottleneck breakdown.
     pub trace: Option<TraceSummary>,
+    /// The streaming-metrics summary, when [`FabricConfig::telemetry`]
+    /// was set: the final registry snapshot plus the per-tick dashboard
+    /// series.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunSummary {
@@ -750,6 +769,11 @@ enum Ev {
         completion: Completion,
     },
     ProbeTick,
+    /// Sample the authoritative fabric state into the metrics plane;
+    /// reschedules itself every telemetry interval. Read-only against
+    /// the simulation: it writes the registry and ring series, never the
+    /// scheduler state, RNG streams, or any component.
+    TelemetryTick,
     PeerStatus {
         to: u32,
         from: u32,
@@ -786,6 +810,57 @@ enum ReplicaHealth {
     Retired,
     /// Killed; its in-flight work was failed/rerouted.
     Crashed,
+}
+
+/// The fabric's streaming metrics plane: a labeled registry fed at event
+/// sites (TTFT sketches) and on the telemetry tick (gauges, cumulative
+/// counters), plus ring-buffered dashboard series sampled every tick.
+struct TelemetryPlane {
+    cfg: TelemetryConfig,
+    registry: MetricsRegistry,
+    /// Total live-balancer queue depth per tick.
+    queue_depth: RingSeries,
+    /// Sketch-P90 TTFT (seconds) per tick.
+    ttft_p90: RingSeries,
+    /// Fleet-wide replica prefix-cache hit ratio per tick.
+    hit_ratio: RingSeries,
+    /// Serving (active) replica count per tick.
+    serving_replicas: RingSeries,
+    /// Mean KV utilization across serving replicas per tick.
+    kv_utilization: RingSeries,
+    /// Sampling passes taken (every tick plus one final flush).
+    ticks: u64,
+}
+
+impl TelemetryPlane {
+    fn new(cfg: TelemetryConfig) -> Self {
+        let cap = cfg.ring_capacity;
+        TelemetryPlane {
+            cfg,
+            registry: MetricsRegistry::new(),
+            queue_depth: RingSeries::new("queue_depth", cap),
+            ttft_p90: RingSeries::new("ttft_p90_seconds", cap),
+            hit_ratio: RingSeries::new("hit_ratio", cap),
+            serving_replicas: RingSeries::new("serving_replicas", cap),
+            kv_utilization: RingSeries::new("kv_utilization", cap),
+            ticks: 0,
+        }
+    }
+
+    fn into_summary(self) -> TelemetrySummary {
+        TelemetrySummary {
+            interval: self.cfg.interval,
+            ticks: self.ticks,
+            snapshot: self.registry.snapshot(),
+            series: vec![
+                self.hit_ratio,
+                self.kv_utilization,
+                self.queue_depth,
+                self.serving_replicas,
+                self.ttft_p90,
+            ],
+        }
+    }
 }
 
 struct Fabric {
@@ -836,6 +911,9 @@ struct Fabric {
     rerouted_once: HashSet<u64>, // det-allow(D02): membership-only — insert/contains, never iterated
     /// Span recorder, attached when [`FabricConfig::trace`] is set.
     tracer: Option<TraceRecorder>,
+    /// Streaming metrics plane, attached when [`FabricConfig::telemetry`]
+    /// is set.
+    telemetry: Option<TelemetryPlane>,
     /// Per-replica cumulative evicted-token counts at the last trace
     /// point, for emitting per-iteration eviction deltas (indexed like
     /// `replicas`; only consulted while tracing).
@@ -854,6 +932,82 @@ impl Fabric {
         if let Some(rec) = self.tracer.as_mut() {
             rec.record(at, kind);
         }
+    }
+
+    /// Samples the authoritative fabric state into the metrics plane.
+    /// No-op when telemetry is off. Observation-only by construction:
+    /// reads balancer/replica state, writes only the registry and ring
+    /// series — never the scheduler, the RNG streams, or any component.
+    fn telemetry_sample(&mut self, now: SimTime) {
+        let Some(mut plane) = self.telemetry.take() else {
+            return;
+        };
+        plane.ticks += 1;
+        let reg = &mut plane.registry;
+
+        // Balancer plane: live queue depths plus the cumulative routing
+        // counters the balancers already track exactly.
+        let mut total_queue = 0u64;
+        for (li, lb) in self.lbs.iter().enumerate() {
+            if !self.lb_alive[li] {
+                continue;
+            }
+            let stats = lb.stats();
+            let labels = [("region", lb.region().name())];
+            reg.set_gauge("skywalker_lb_queue_depth", &labels, lb.queue_len() as f64);
+            reg.counter_at_least("skywalker_lb_received_total", &labels, stats.received);
+            reg.counter_at_least(
+                "skywalker_lb_dispatched_local_total",
+                &labels,
+                stats.dispatched_local,
+            );
+            reg.counter_at_least("skywalker_lb_forwarded_total", &labels, stats.forwarded);
+            total_queue += lb.queue_len() as u64;
+        }
+
+        // Replica plane: serving count, KV pressure, cache effectiveness.
+        let mut serving = 0u64;
+        let mut kv_sum = 0.0;
+        let mut prompt = 0u64;
+        let mut cached = 0u64;
+        let mut completed = 0u64;
+        for (ri, r) in self.replicas.iter().enumerate() {
+            if self.replica_health[ri] == ReplicaHealth::Active {
+                serving += 1;
+                kv_sum += r.kv_utilization();
+            }
+            let stats = r.stats();
+            prompt += stats.prompt_tokens;
+            cached += stats.cached_prompt_tokens;
+            completed += stats.completed;
+        }
+        let kv_mean = if serving > 0 {
+            kv_sum / serving as f64
+        } else {
+            0.0
+        };
+        let hit = if prompt > 0 {
+            cached as f64 / prompt as f64
+        } else {
+            0.0
+        };
+        reg.set_gauge("skywalker_serving_replicas", &[], serving as f64);
+        reg.set_gauge("skywalker_kv_utilization_mean", &[], kv_mean);
+        reg.set_gauge("skywalker_replica_hit_ratio", &[], hit);
+        reg.counter_at_least("skywalker_replica_completed_total", &[], completed);
+
+        let ttft_p90 = reg
+            .sketch("skywalker_ttft_seconds", &[])
+            .map(|s| s.quantile(0.90))
+            .unwrap_or(0.0);
+
+        plane.queue_depth.record(now, total_queue as f64);
+        plane.ttft_p90.record(now, ttft_p90);
+        plane.hit_ratio.record(now, hit);
+        plane.serving_replicas.record(now, serving as f64);
+        plane.kv_utilization.record(now, kv_mean);
+
+        self.telemetry = Some(plane);
     }
 
     fn issue_request(
@@ -1484,6 +1638,24 @@ impl World for Fabric {
             Ev::DeliverFirstToken { req } => {
                 self.trace(now, TraceEventKind::FirstTokenDelivered { req: req.0 });
                 self.tracker.first_token(req.0, now);
+                if self.telemetry.is_some() {
+                    let arrived = self.tracker.arrival_time(req.0);
+                    let region = self
+                        .req_client
+                        .get(&req.0)
+                        .map(|&c| self.clients[c].spec.region);
+                    if let (Some(arrived), Some(plane)) = (arrived, self.telemetry.as_mut()) {
+                        let ttft = now.saturating_since(arrived).as_secs_f64();
+                        plane.registry.observe("skywalker_ttft_seconds", &[], ttft);
+                        if let Some(region) = region {
+                            plane.registry.observe(
+                                "skywalker_region_ttft_seconds",
+                                &[("region", region.name())],
+                                ttft,
+                            );
+                        }
+                    }
+                }
             }
             Ev::DeliverCompletion { client, completion } => {
                 self.trace(
@@ -1566,6 +1738,12 @@ impl World for Fabric {
                     }
                 }
                 sched.after(self.cfg.probe_interval, Ev::ProbeTick);
+            }
+            Ev::TelemetryTick => {
+                self.telemetry_sample(now);
+                if let Some(plane) = &self.telemetry {
+                    sched.after(plane.cfg.interval, Ev::TelemetryTick);
+                }
             }
             Ev::PeerStatus {
                 to,
@@ -1788,6 +1966,12 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     world_cfg.fleet_poll_interval = world_cfg
         .fleet_poll_interval
         .max(SimDuration::from_millis(1));
+    // A zero telemetry interval would re-enqueue `Ev::TelemetryTick` at
+    // the same instant forever; clamp like the poll intervals.
+    if let Some(t) = world_cfg.telemetry.as_mut() {
+        t.interval = t.interval.max(SimDuration::from_millis(1));
+    }
+    let telemetry_plane = world_cfg.telemetry.map(TelemetryPlane::new);
     let mut fleet_sizes: BTreeMap<Region, TimeSeries> = BTreeMap::new();
     for p in &scenario.replicas {
         fleet_sizes
@@ -1837,6 +2021,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         crashes: 0,
         rerouted_once: HashSet::new(),
         tracer: cfg.trace.map(TraceRecorder::new),
+        telemetry: telemetry_plane,
         last_evicted: vec![0; n_replicas],
     };
     world.record_fleet(SimTime::ZERO);
@@ -1859,11 +2044,17 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         if world.plan.is_some() {
             engine.schedule(SimTime::ZERO, Ev::FleetPoll);
         }
+        if world.telemetry.is_some() {
+            engine.schedule(SimTime::ZERO, Ev::TelemetryTick);
+        }
     }
 
     let stats = engine.run_until(&mut world, cfg.deadline);
     let end = stats.end_time;
     world.record_fleet(end);
+    // One final flush so the summary snapshot reflects the end state even
+    // when the run ends between ticks (no-op with telemetry off).
+    world.telemetry_sample(end);
 
     let report = world.tracker.report(end);
     let replica_stats: Vec<ReplicaStats> = world.replicas.iter().map(|r| r.stats()).collect();
@@ -1947,5 +2138,6 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         kv_series: world.kv_series,
         fleet,
         trace: world.tracer.map(TraceRecorder::into_summary),
+        telemetry: world.telemetry.map(TelemetryPlane::into_summary),
     }
 }

@@ -20,6 +20,7 @@
 //! | `skywalker-live` | real TCP balancer/replica servers on localhost |
 //! | `skywalker-lab` | the parallel experiment lab: deterministic multi-threaded sweeps over scenario grids |
 //! | `skywalker-trace` | run tracer: span recording, per-request bottleneck attribution, flamegraph-style reports, run diffs (`docs/tracing.md`) |
+//! | `skywalker-telemetry` | streaming metrics plane: mergeable quantile sketches, labeled registry, ring series, Prometheus/JSON/markdown export (`docs/telemetry.md`) |
 //! | this crate | the [`fabric`] with [`ScenarioBuilder`], the preset [`scenarios`], and [`P2cLocal`] — a custom policy built on the open surface |
 //!
 //! `skywalker-lab` sits *above* this facade (it consumes [`Scenario`]
@@ -153,6 +154,10 @@ pub use skywalker_replica::{
     BatchPlan, BatchPolicy, EngineSpec, EvictCandidate, FcfsBatch, KvEvictor, LruEvictor, NoEvict,
     PendingView, PrefixAwareEvictor, RunningView, StepView,
 };
+pub use skywalker_telemetry::{
+    markdown_table, prometheus_text, MetricsRegistry, MetricsSnapshot, QuantileSketch, RingSeries,
+    TelemetryConfig, TelemetrySummary,
+};
 pub use skywalker_trace::{
     Attribution, BottleneckReport, Phase, TraceConfig, TraceDiff, TraceSummary,
 };
@@ -171,5 +176,6 @@ pub use skywalker_metrics as metrics;
 pub use skywalker_net as net;
 pub use skywalker_replica as replica;
 pub use skywalker_sim as sim;
+pub use skywalker_telemetry as telemetry;
 pub use skywalker_trace as trace;
 pub use skywalker_workload as workload;

@@ -22,6 +22,7 @@
 //! then commit the diff under `tests/golden/` alongside the change that
 //! explains it.
 
+use skywalker::sim::SimDuration;
 use skywalker::{
     fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario, run_scenario,
     EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary,
@@ -30,6 +31,15 @@ use skywalker::{
 use skywalker_metrics::json::{Report, Val};
 
 const SEEDS: [u64; 2] = [1, 2];
+
+/// How a golden re-run is instrumented. Both planes are observation-only
+/// by contract, so any variant must render the identical digest.
+#[derive(Clone, Copy)]
+enum Instrument {
+    None,
+    Trace,
+    Telemetry(SimDuration),
+}
 
 /// One golden cell: a tag and a seed-parametric scenario builder.
 type GoldenCell = (String, Box<dyn Fn(u64) -> Scenario>);
@@ -72,23 +82,38 @@ fn digest_row(tag: &str, seed: u64, s: &RunSummary) -> Vec<(String, Val)> {
     .collect()
 }
 
-fn render_group(name: &str, cells: &[GoldenCell], trace: bool) -> String {
+fn render_group(name: &str, cells: &[GoldenCell], instrument: Instrument) -> String {
     let mut rep = Report::new(format!("golden_{name}"));
     rep.meta("seeds", format!("{SEEDS:?}"));
     for (tag, build) in cells {
         for seed in SEEDS {
             let scenario = build(seed);
-            let cfg = FabricConfig {
+            let base = FabricConfig {
                 seed,
-                trace: trace.then(TraceConfig::default),
                 ..FabricConfig::default()
             };
+            let cfg = match instrument {
+                Instrument::None => base,
+                Instrument::Trace => FabricConfig {
+                    trace: Some(TraceConfig::default()),
+                    ..base
+                },
+                Instrument::Telemetry(interval) => base.telemetry(interval),
+            };
             let summary = run_scenario(&scenario, &cfg);
-            if trace {
-                assert!(
+            match instrument {
+                Instrument::None => {}
+                Instrument::Trace => assert!(
                     summary.trace.as_ref().is_some_and(|t| !t.events.is_empty()),
                     "{tag}/{seed}: tracing was requested but recorded nothing"
-                );
+                ),
+                Instrument::Telemetry(_) => assert!(
+                    summary
+                        .telemetry
+                        .as_ref()
+                        .is_some_and(|t| t.ticks > 0 && !t.snapshot.is_empty()),
+                    "{tag}/{seed}: telemetry was requested but sampled nothing"
+                ),
             }
             let fields = digest_row(tag, seed, &summary);
             let refs: Vec<(&str, Val)> = fields
@@ -102,7 +127,7 @@ fn render_group(name: &str, cells: &[GoldenCell], trace: bool) -> String {
 }
 
 fn run_group(name: &str, cells: Vec<GoldenCell>) {
-    compare_or_update(name, &render_group(name, &cells, false));
+    compare_or_update(name, &render_group(name, &cells, Instrument::None));
 }
 
 /// Byte-compares the rendered report against `tests/golden/{name}.json`,
@@ -243,7 +268,11 @@ fn golden_memory_pressure_traced_is_byte_identical() {
         println!("skipping traced comparison while goldens are being refreshed");
         return;
     }
-    let rendered = render_group("memory_pressure", &memory_pressure_cells(), true);
+    let rendered = render_group(
+        "memory_pressure",
+        &memory_pressure_cells(),
+        Instrument::Trace,
+    );
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/memory_pressure.json");
     let expected = std::fs::read_to_string(&path)
@@ -252,4 +281,34 @@ fn golden_memory_pressure_traced_is_byte_identical() {
         expected, rendered,
         "attaching the trace recorder changed a run's digest — tracing must be observation-only"
     );
+}
+
+/// Telemetry is observation-only at *any* cadence: re-running the
+/// memory-pressure group with the metrics plane sampling at two different
+/// intervals must reproduce the committed digest byte-for-byte. The
+/// telemetry tick only reads component state and feeds the registry, so
+/// neither the extra scheduler entries nor the sampling rate may leak
+/// into outcomes. Read-only like the traced gate above.
+#[test]
+fn golden_memory_pressure_telemetry_is_byte_identical_at_two_cadences() {
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        println!("skipping telemetry comparison while goldens are being refreshed");
+        return;
+    }
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/memory_pressure.json");
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+    for interval in [SimDuration::from_secs(1), SimDuration::from_millis(100)] {
+        let rendered = render_group(
+            "memory_pressure",
+            &memory_pressure_cells(),
+            Instrument::Telemetry(interval),
+        );
+        assert_eq!(
+            expected, rendered,
+            "telemetry sampling every {interval:?} changed a run's digest — telemetry must be \
+             observation-only"
+        );
+    }
 }

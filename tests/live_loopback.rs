@@ -3,12 +3,14 @@
 //! core logic the simulator verifies — but through real sockets and real
 //! threads.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::Duration;
 
 use skywalker::core::{BalancerConfig, LbId};
 use skywalker::net::Region;
 use skywalker::replica::{GpuProfile, ReplicaId, Request};
-use skywalker_live::{BalancerServer, LiveClient, ReplicaServer};
+use skywalker_live::{scrape_metrics, BalancerServer, LiveClient, ReplicaServer};
 
 const FAST: f64 = 0.001; // 1000× faster than real time
 
@@ -149,6 +151,106 @@ fn balancer_queues_when_replicas_are_full() {
     for h in handles {
         assert_eq!(h.join().unwrap(), 64);
     }
+    lb.shutdown();
+    r0.shutdown();
+}
+
+/// Parses a Prometheus text exposition into (name, labels, value) sample
+/// lines, panicking on anything malformed — the test's stand-in for a
+/// real scraper.
+fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line has a metric name");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary"),
+                "unknown TYPE {kind} for {name}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (key, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().expect("sample value parses as f64");
+        samples.push((key.to_string(), value));
+    }
+    samples
+}
+
+#[test]
+fn metrics_scrape_over_the_wire() {
+    let r0 = ReplicaServer::spawn(ReplicaId(0), GpuProfile::L4_LLAMA_8B, FAST).unwrap();
+    let lb = BalancerServer::spawn(
+        LbId(0),
+        BalancerConfig::skywalker(Region::UsEast),
+        Duration::from_millis(10),
+    )
+    .unwrap();
+    lb.attach_replica(ReplicaId(0), r0.addr()).unwrap();
+
+    // Serve some traffic so the counters are nonzero.
+    let mut client = LiveClient::connect(lb.addr()).unwrap();
+    for i in 0..3u64 {
+        let out = client
+            .run(&Request::new(i, format!("u{i}"), (0..64).collect(), 8))
+            .unwrap();
+        assert_eq!(out.generated, 8);
+    }
+
+    // Framed scrape of the balancer: parses, is deterministically
+    // ordered, and agrees with the server's own accounting.
+    let lb_text = scrape_metrics(lb.addr()).unwrap();
+    let samples = parse_exposition(&lb_text);
+    assert!(!samples.is_empty());
+    let mut keys: Vec<&String> = samples.iter().map(|(k, _)| k).collect();
+    keys.dedup();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "samples must arrive in sorted order");
+    let received = samples
+        .iter()
+        .find(|(k, _)| k.starts_with("skywalker_lb_received_total"))
+        .expect("balancer exposes the received counter");
+    assert_eq!(received.1, 3.0);
+    let forwarded = samples
+        .iter()
+        .find(|(k, _)| k.starts_with("skywalker_lb_forwarded_total"))
+        .expect("balancer exposes the forwarded counter");
+    assert_eq!(forwarded.1, lb.forwarded() as f64);
+    assert!(lb_text.contains(r#"region="us-east-1""#));
+
+    // Scraping twice is stable modulo values: same keys, same order.
+    let again = parse_exposition(&scrape_metrics(lb.addr()).unwrap());
+    assert_eq!(
+        samples.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+        again.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+    );
+
+    // Framed scrape of the replica.
+    let rep_samples = parse_exposition(&scrape_metrics(r0.addr()).unwrap());
+    let completed = rep_samples
+        .iter()
+        .find(|(k, _)| k.starts_with("skywalker_replica_completed_total"))
+        .expect("replica exposes the completed counter");
+    assert_eq!(completed.1, 3.0);
+
+    // ASCII scrape: what `nc` or `curl` would see.
+    let mut raw = TcpStream::connect(lb.addr()).unwrap();
+    raw.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split")
+        .1;
+    assert_eq!(parse_exposition(body).len(), samples.len());
+
     lb.shutdown();
     r0.shutdown();
 }
