@@ -1,0 +1,156 @@
+//! Scale curve of the diurnal preset: wall-clock cost and simulation
+//! event-queue depth as the client population grows. This is the
+//! capacity-planning companion to `routing_micro` — the micro rows say
+//! what one operation costs, this curve says what a whole day costs.
+//!
+//! Three modes, selected by the `SCALE_CURVE` environment variable:
+//!
+//! * unset / `smoke` — one short cell (600 s day, scale 0.1), no file
+//!   output. Cheap enough for CI on every push; exercises the whole
+//!   diurnal pipeline end to end.
+//! * `full` — the committed curve: the full compressed diurnal day at
+//!   scale 0.1 / 0.25 / 0.5 / 1.0, written to `BENCH_scale.json`, plus
+//!   a traced run whose bottleneck attribution is printed so perf
+//!   before/after comparisons can point at the moving phase.
+//! * `gate` — the scale-0.5 full-day cell alone, asserted against a
+//!   wall-clock budget (`SCALE_CURVE_BUDGET_S`, default 60 s). CI runs
+//!   this as the perf-regression tripwire.
+//!
+//! Wall-clock numbers are machine-dependent by nature; the *simulation
+//! outcomes* in every cell (completed counts, peak event depth) are
+//! deterministic and must not drift — they share the seed discipline
+//! with the golden-digest gate.
+
+use std::time::Instant;
+
+use skywalker::sim::{SimDuration, SimTime};
+use skywalker::{fig10_diurnal_scenario, run_scenario, FabricConfig, SystemKind};
+use skywalker_bench::json::Report;
+use skywalker_bench::rows::scale_row;
+use skywalker_bench::{f, header, row};
+use skywalker_trace::{Attribution, BottleneckReport};
+
+/// The compressed diurnal day: the trio profiles' full 24 h demand
+/// shape squeezed into 2 400 s of sim time (the `telemetry_day`
+/// example's compression).
+const DAY: SimDuration = SimDuration::from_secs(2_400);
+const SMOKE_DAY: SimDuration = SimDuration::from_secs(600);
+const PER_REGION: u32 = 4;
+const SEED: u64 = 61;
+const FULL_SCALES: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
+const DEFAULT_GATE_BUDGET_S: f64 = 60.0;
+
+struct Cell {
+    scale: f64,
+    clients: usize,
+    summary: skywalker::RunSummary,
+    wall_s: f64,
+}
+
+/// Runs one diurnal cell and measures it from the outside.
+fn run_cell(day: SimDuration, scale: f64) -> Cell {
+    let scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, PER_REGION, day, scale, SEED);
+    let clients = scenario.clients_until(SimTime::ZERO + day).len();
+    let start = Instant::now();
+    let summary = run_scenario(&scenario, &FabricConfig::default());
+    let wall_s = start.elapsed().as_secs_f64();
+    Cell {
+        scale,
+        clients,
+        summary,
+        wall_s,
+    }
+}
+
+/// Runs one traced cell and returns its bottleneck attribution.
+fn attribution(day: SimDuration, scale: f64) -> BottleneckReport {
+    let scenario = fig10_diurnal_scenario(SystemKind::SkyWalker, PER_REGION, day, scale, SEED);
+    let summary = run_scenario(&scenario, &FabricConfig::default().traced());
+    let trace = summary
+        .trace
+        .expect("traced config returns a trace summary");
+    BottleneckReport::new(summary.label, &Attribution::from_summary(&trace), 3)
+}
+
+fn print_cells(cells: &[Cell]) {
+    header(&["scale", "clients", "completed", "peak events", "wall"]);
+    for c in cells {
+        row(&[
+            f(c.scale, 2),
+            c.clients.to_string(),
+            c.summary.report.completed.to_string(),
+            c.summary.peak_events.to_string(),
+            format!("{:.2}s", c.wall_s),
+        ]);
+    }
+}
+
+fn main() {
+    let mode = std::env::var("SCALE_CURVE").unwrap_or_default();
+    match mode.as_str() {
+        "full" => full(),
+        "gate" => gate(),
+        _ => smoke(),
+    }
+}
+
+/// CI smoke: one cheap cell proves the diurnal pipeline runs end to
+/// end. No file output — the committed curve comes from `full`.
+fn smoke() {
+    println!("# Scale curve — smoke (SCALE_CURVE=full for the committed curve)\n");
+    let cell = run_cell(SMOKE_DAY, 0.1);
+    print_cells(std::slice::from_ref(&cell));
+    assert!(
+        cell.summary.report.completed > 0,
+        "smoke cell completed no requests"
+    );
+    assert!(
+        cell.summary.peak_events > 0,
+        "smoke cell observed no event depth"
+    );
+}
+
+/// The committed curve: every scale on the full compressed day, plus
+/// the traced attribution of the mid-scale cell.
+fn full() {
+    println!("# Scale curve — full diurnal day at scale 0.1/0.25/0.5/1.0\n");
+    let cells: Vec<Cell> = FULL_SCALES
+        .iter()
+        .map(|&scale| run_cell(DAY, scale))
+        .collect();
+    print_cells(&cells);
+
+    let mut rep = Report::new("scale_curve");
+    rep.meta("day_secs", DAY.as_secs_f64());
+    rep.meta("per_region", u64::from(PER_REGION));
+    rep.meta("seed", SEED);
+    for c in &cells {
+        rep.row(&scale_row(c.scale, c.clients, &c.summary, c.wall_s));
+    }
+    rep.write("BENCH_scale.json")
+        .expect("write BENCH_scale.json");
+
+    println!("\n## Bottleneck attribution (scale 0.25, traced)\n");
+    println!("{}", attribution(DAY, 0.25).render());
+    println!("Re-run this mode after a perf change and diff the wall column;");
+    println!("the attribution names the phase any sim-time movement lives in.");
+}
+
+/// CI tripwire: the scale-0.5 full day must fit the wall-clock budget.
+fn gate() {
+    let budget_s = std::env::var("SCALE_CURVE_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_GATE_BUDGET_S);
+    println!("# Scale curve — gate (scale 0.5 full day, budget {budget_s:.0}s)\n");
+    let cell = run_cell(DAY, 0.5);
+    print_cells(std::slice::from_ref(&cell));
+    assert!(
+        cell.wall_s < budget_s,
+        "scale-0.5 diurnal day took {:.2}s, over the {:.0}s budget — \
+         a hot-path regression (see docs/performance.md)",
+        cell.wall_s,
+        budget_s
+    );
+    println!("\nWithin budget ({:.2}s < {budget_s:.0}s).", cell.wall_s);
+}

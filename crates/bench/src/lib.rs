@@ -143,6 +143,25 @@ pub mod rows {
             ("forwarded", Val::from(s.forwarded)),
         ]
     }
+
+    /// One `BENCH_scale.json` row: the scale-curve schema (wall-clock
+    /// cost and event-queue depth vs client population). The wall
+    /// column is machine-dependent by nature; everything else is
+    /// deterministic under the seed discipline.
+    pub fn scale_row(
+        scale: f64,
+        clients: usize,
+        s: &RunSummary,
+        wall_s: f64,
+    ) -> Vec<(&'static str, Val)> {
+        vec![
+            ("scale", Val::from(scale)),
+            ("clients", Val::from(clients)),
+            ("completed", Val::from(s.report.completed)),
+            ("peak_events", Val::from(s.peak_events)),
+            ("wall_s", Val::from(wall_s)),
+        ]
+    }
 }
 
 /// Prints a Markdown-style table row.
@@ -264,6 +283,30 @@ mod tests {
                 "crashes",
                 "forwarded"
             ]
+        );
+        let keys: Vec<&str> = rows::scale_row(0.5, 10, &s, 1.0)
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            keys,
+            ["scale", "clients", "completed", "peak_events", "wall_s"]
+        );
+    }
+
+    #[test]
+    fn micro_row_schema_is_stable() {
+        // `BENCH_routing_micro.json` rows all come from
+        // `micro::bench_into`; pin the emitted field names and order the
+        // same way the table schemas above are pinned.
+        let mut rep = json::Report::new("schema-probe");
+        micro::bench_into(&mut rep, "probe", || {});
+        assert_eq!(rep.len(), 1);
+        assert!(
+            rep.render()
+                .contains("{\"name\": \"probe\", \"ns_per_iter\": "),
+            "micro row schema drifted: {}",
+            rep.render()
         );
     }
 }

@@ -240,6 +240,11 @@ pub struct RegionalBalancer {
     /// Per-replica dispatch counts, for load-variance analysis.
     dispatches: BTreeMap<ReplicaId, u64>,
     stats: BalancerStats,
+    /// Candidate buffers reused across [`dispatch`](Self::dispatch)
+    /// iterations: the drain loop rebuilds the candidate set per queue
+    /// head, and these keep that rebuild allocation-free.
+    local_scratch: Vec<TargetState<ReplicaId>>,
+    remote_scratch: Vec<TargetState<LbId>>,
 }
 
 impl RegionalBalancer {
@@ -277,6 +282,8 @@ impl RegionalBalancer {
             remote_policy,
             dispatches: BTreeMap::new(),
             stats: BalancerStats::default(),
+            local_scratch: Vec::new(),
+            remote_scratch: Vec::new(),
         }
     }
 
@@ -323,6 +330,13 @@ impl RegionalBalancer {
     /// Replicas currently managed.
     pub fn replica_ids(&self) -> Vec<ReplicaId> {
         self.replicas.keys().copied().collect()
+    }
+
+    /// Appends the managed replica ids to `out` (in id order) — the
+    /// allocation-free form for per-tick probe loops that reuse one
+    /// buffer across balancers.
+    pub fn replica_ids_into(&self, out: &mut Vec<ReplicaId>) {
+        out.extend(self.replicas.keys().copied());
     }
 
     /// The tracked state of one replica.
@@ -440,8 +454,11 @@ impl RegionalBalancer {
     /// available remote balancer; if neither, the head waits (FCFS).
     pub fn dispatch(&mut self) -> Vec<Decision> {
         let mut out = Vec::new();
+        let mut local_candidates = std::mem::take(&mut self.local_scratch);
+        let mut remote_candidates = std::mem::take(&mut self.remote_scratch);
         while let Some(head) = self.queue.front() {
-            let local_candidates = self.local_candidates();
+            local_candidates.clear();
+            self.fill_local_candidates(&mut local_candidates);
             if !local_candidates.is_empty() {
                 let q = self.queue.pop_front().expect("front checked");
                 let replica = self
@@ -460,7 +477,8 @@ impl RegionalBalancer {
             if head.hops >= self.cfg.max_hops {
                 break;
             }
-            let remote_candidates = self.remote_candidates();
+            remote_candidates.clear();
+            self.fill_remote_candidates(&mut remote_candidates);
             if remote_candidates.is_empty() {
                 break;
             }
@@ -483,35 +501,39 @@ impl RegionalBalancer {
                 hops: q.hops + 1,
             });
         }
+        self.local_scratch = local_candidates;
+        self.remote_scratch = remote_candidates;
         out
     }
 
-    fn local_candidates(&self) -> Vec<TargetState<ReplicaId>> {
-        self.replicas
-            .values()
-            .filter(|r| self.cfg.push_mode.replica_available(r))
-            .map(|r| {
-                let region = self
-                    .replica_regions
-                    .get(&r.id)
-                    .copied()
-                    .unwrap_or(self.cfg.region);
-                TargetState::new(r.id, r.outstanding).in_region(region)
-            })
-            .collect()
+    fn fill_local_candidates(&self, out: &mut Vec<TargetState<ReplicaId>>) {
+        out.extend(
+            self.replicas
+                .values()
+                .filter(|r| self.cfg.push_mode.replica_available(r))
+                .map(|r| {
+                    let region = self
+                        .replica_regions
+                        .get(&r.id)
+                        .copied()
+                        .unwrap_or(self.cfg.region);
+                    TargetState::new(r.id, r.outstanding).in_region(region)
+                }),
+        );
     }
 
-    fn remote_candidates(&self) -> Vec<TargetState<LbId>> {
-        self.peers
-            .values()
-            .filter(|p| {
-                p.alive
-                    && p.available_replicas > 0
-                    && p.queue_len <= self.cfg.tau
-                    && self.cfg.constraint.allows(self.cfg.region, p.region)
-            })
-            .map(|p| TargetState::new(p.id, p.queue_len).in_region(p.region))
-            .collect()
+    fn fill_remote_candidates(&self, out: &mut Vec<TargetState<LbId>>) {
+        out.extend(
+            self.peers
+                .values()
+                .filter(|p| {
+                    p.alive
+                        && p.available_replicas > 0
+                        && p.queue_len <= self.cfg.tau
+                        && self.cfg.constraint.allows(self.cfg.region, p.region)
+                })
+                .map(|p| TargetState::new(p.id, p.queue_len).in_region(p.region)),
+        );
     }
 
     fn note_local_dispatch(&mut self, req: &Request, replica: ReplicaId) {

@@ -14,10 +14,21 @@
 //! paper specifies ("evicts entries when the tree exceeds this limit,
 //! starting with the earliest inserted records").
 //!
+//! # Layout
+//!
+//! Nodes live in a `Vec` arena with a LIFO free-list; recycled slots keep
+//! their buffer capacity, so a trie at its steady-state size stops
+//! allocating. Per-node child and target maps are inline sorted small-vecs
+//! (binary search on the first token / the target id) rather than
+//! `BTreeMap`s: fan-out and target counts are small, and the flat layout
+//! keeps descent on one cache line per node. Eviction order is maintained
+//! incrementally in a `(created_seq, node)` index, so `insert` at the
+//! size bound is O(log n) instead of a full arena scan per evicted leaf.
+//!
 //! The trie is generic over the target type `T`: `ReplicaId` in the
 //! LB-to-replica layer, `LbId` in the LB-to-LB layer.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// Result of a routing lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,13 +43,57 @@ pub struct TrieMatch<T> {
 struct TNode<T> {
     seg: Vec<u32>,
     parent: usize,
-    children: BTreeMap<u32, usize>,
-    /// Targets recorded at this node, with the sequence number of their
-    /// most recent insertion (freshness).
-    targets: BTreeMap<T, u64>,
+    /// Children as `(first token of the child's segment, child index)`,
+    /// sorted by token — the inline first-token index.
+    children: Vec<(u32, usize)>,
+    /// Targets recorded at this node as `(target, seq)`, sorted by
+    /// target; `seq` is the sequence number of the target's most recent
+    /// insertion (freshness).
+    targets: Vec<(T, u64)>,
     /// Sequence number when this node was first created (eviction order).
     created_seq: u64,
     dead: bool,
+}
+
+impl<T: Copy + Ord> TNode<T> {
+    fn child(&self, token: u32) -> Option<usize> {
+        self.children
+            .binary_search_by_key(&token, |c| c.0)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+
+    fn link_child(&mut self, token: u32, idx: usize) {
+        match self.children.binary_search_by_key(&token, |c| c.0) {
+            Ok(i) => self.children[i].1 = idx,
+            Err(i) => self.children.insert(i, (token, idx)),
+        }
+    }
+
+    fn unlink_child(&mut self, token: u32) {
+        if let Ok(i) = self.children.binary_search_by_key(&token, |c| c.0) {
+            self.children.remove(i);
+        }
+    }
+
+    fn set_target(&mut self, target: T, seq: u64) {
+        match self.targets.binary_search_by(|(t, _)| t.cmp(&target)) {
+            Ok(i) => self.targets[i].1 = seq,
+            Err(i) => self.targets.insert(i, (target, seq)),
+        }
+    }
+
+    fn has_target(&self, target: &T) -> bool {
+        self.targets
+            .binary_search_by(|(t, _)| t.cmp(target))
+            .is_ok()
+    }
+
+    fn remove_target(&mut self, target: &T) {
+        if let Ok(i) = self.targets.binary_search_by(|(t, _)| t.cmp(target)) {
+            self.targets.remove(i);
+        }
+    }
 }
 
 const ROOT: usize = 0;
@@ -67,6 +122,10 @@ const ROOT: usize = 0;
 pub struct RouteTrie<T> {
     nodes: Vec<TNode<T>>,
     free: Vec<usize>,
+    /// Live childless non-root nodes as `(created_seq, index)` — the
+    /// eviction frontier, ordered exactly as the bound enforcer consumes
+    /// it (oldest first, lowest arena index on ties).
+    leaves: BTreeSet<(u64, usize)>,
     max_tokens: usize,
     stored_tokens: usize,
     seq: u64,
@@ -79,12 +138,13 @@ impl<T: Copy + Ord> RouteTrie<T> {
             nodes: vec![TNode {
                 seg: Vec::new(),
                 parent: ROOT,
-                children: BTreeMap::new(),
-                targets: BTreeMap::new(),
+                children: Vec::new(),
+                targets: Vec::new(),
                 created_seq: 0,
                 dead: false,
             }],
             free: Vec::new(),
+            leaves: BTreeSet::new(),
             max_tokens,
             stored_tokens: 0,
             seq: 0,
@@ -106,17 +166,27 @@ impl<T: Copy + Ord> RouteTrie<T> {
         self.nodes[ROOT].children.is_empty()
     }
 
+    /// Number of live nodes, excluding the root — the structural size
+    /// equivalence suites compare against a reference model.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != ROOT && !n.dead)
+            .count()
+    }
+
     /// Records that `target` served a request with this prompt. The target
     /// is added to every node along the path; the path is created (and
     /// split) as needed; the size bound is enforced afterwards.
     pub fn insert(&mut self, tokens: &[u32], target: T) {
         self.seq += 1;
         let seq = self.seq;
-        self.nodes[ROOT].targets.insert(target, seq);
+        self.nodes[ROOT].set_target(target, seq);
         let mut node = ROOT;
         let mut pos = 0usize;
         while pos < tokens.len() {
-            match self.nodes[node].children.get(&tokens[pos]).copied() {
+            match self.nodes[node].child(tokens[pos]) {
                 Some(child) => {
                     let common = self.nodes[child]
                         .seg
@@ -129,17 +199,21 @@ impl<T: Copy + Ord> RouteTrie<T> {
                     } else {
                         child
                     };
-                    self.nodes[next].targets.insert(target, seq);
+                    self.nodes[next].set_target(target, seq);
                     node = next;
                     pos += common;
                 }
                 None => {
-                    let seg = tokens[pos..].to_vec();
+                    let leaf = self.alloc(&tokens[pos..], node, seq);
                     pos = tokens.len();
-                    let leaf = self.alloc(seg, node, seq);
-                    self.nodes[leaf].targets.insert(target, seq);
+                    self.nodes[leaf].set_target(target, seq);
                     let first = self.nodes[leaf].seg[0];
-                    self.nodes[node].children.insert(first, leaf);
+                    if node != ROOT && self.nodes[node].children.is_empty() {
+                        // The attachment point stops being a leaf.
+                        self.leaves.remove(&(self.nodes[node].created_seq, node));
+                    }
+                    self.nodes[node].link_child(first, leaf);
+                    self.leaves.insert((seq, leaf));
                     node = leaf;
                 }
             }
@@ -150,7 +224,7 @@ impl<T: Copy + Ord> RouteTrie<T> {
     /// Finds the *available* target with the longest matching prefix
     /// (Alg. 1, `MaxPrefixMatch`). Descends only while the current node
     /// has at least one available target — correct because target sets
-    /// shrink along any root-to-leaf path.
+    /// shrink along any root-to-leaf path. Allocation-free.
     pub fn best_match<F: Fn(&T) -> bool>(
         &self,
         tokens: &[u32],
@@ -158,11 +232,11 @@ impl<T: Copy + Ord> RouteTrie<T> {
     ) -> Option<TrieMatch<T>> {
         let pick = |node: &TNode<T>| -> Option<T> {
             // Most recently refreshed available target; ties broken by
-            // target order (BTreeMap iteration is ordered by T).
+            // target order (the target vec is sorted by T).
             node.targets
                 .iter()
                 .filter(|(t, _)| available(t))
-                .max_by_key(|(t, seq)| (**seq, std::cmp::Reverse(**t)))
+                .max_by_key(|(t, seq)| (*seq, std::cmp::Reverse(*t)))
                 .map(|(t, _)| *t)
         };
 
@@ -173,7 +247,7 @@ impl<T: Copy + Ord> RouteTrie<T> {
         let mut node = ROOT;
         let mut pos = 0usize;
         while pos < tokens.len() {
-            let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
+            let Some(child) = self.nodes[node].child(tokens[pos]) else {
                 break;
             };
             let common = self.nodes[child]
@@ -207,14 +281,14 @@ impl<T: Copy + Ord> RouteTrie<T> {
     pub fn matched_for(&self, tokens: &[u32], target: T) -> usize {
         let mut node = ROOT;
         let mut pos = 0usize;
-        if !self.nodes[ROOT].targets.contains_key(&target) {
+        if !self.nodes[ROOT].has_target(&target) {
             return 0;
         }
         while pos < tokens.len() {
-            let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
+            let Some(child) = self.nodes[node].child(tokens[pos]) else {
                 break;
             };
-            if !self.nodes[child].targets.contains_key(&target) {
+            if !self.nodes[child].has_target(&target) {
                 break;
             }
             let common = self.nodes[child]
@@ -237,7 +311,7 @@ impl<T: Copy + Ord> RouteTrie<T> {
     pub fn purge_target(&mut self, target: T) {
         for n in self.nodes.iter_mut() {
             if !n.dead {
-                n.targets.remove(&target);
+                n.remove_target(&target);
             }
         }
         // Drop leaves with no targets (repeatedly, so chains collapse).
@@ -252,28 +326,42 @@ impl<T: Copy + Ord> RouteTrie<T> {
         }
     }
 
-    /// Checks the subset invariant and token accounting.
+    /// Checks the subset invariant, token accounting, sortedness of the
+    /// inline indexes, and the eviction frontier.
     ///
     /// # Panics
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
         let mut stored = 0usize;
+        let mut expect_leaves: BTreeSet<(u64, usize)> = BTreeSet::new();
         for (i, n) in self.nodes.iter().enumerate() {
             if n.dead || i == ROOT {
                 continue;
             }
             stored += n.seg.len();
             assert!(!n.seg.is_empty(), "non-root node with empty segment");
+            assert!(
+                n.children.windows(2).all(|w| w[0].0 < w[1].0),
+                "child index out of order"
+            );
+            assert!(
+                n.targets.windows(2).all(|w| w[0].0 < w[1].0),
+                "target vec out of order"
+            );
+            if n.children.is_empty() {
+                expect_leaves.insert((n.created_seq, i));
+            }
             let parent = &self.nodes[n.parent];
-            for t in n.targets.keys() {
+            for (t, _) in &n.targets {
                 assert!(
-                    parent.targets.contains_key(t),
+                    parent.has_target(t),
                     "child target set must be a subset of the parent's"
                 );
             }
-            assert_eq!(parent.children.get(&n.seg[0]), Some(&i), "broken link");
+            assert_eq!(parent.child(n.seg[0]), Some(i), "broken link");
         }
+        assert_eq!(expect_leaves, self.leaves, "eviction frontier drifted");
         assert_eq!(stored, self.stored_tokens, "token accounting drifted");
         assert!(
             self.stored_tokens <= self.max_tokens,
@@ -285,60 +373,66 @@ impl<T: Copy + Ord> RouteTrie<T> {
 
     // ---- internals -------------------------------------------------------
 
-    fn alloc(&mut self, seg: Vec<u32>, parent: usize, seq: u64) -> usize {
+    fn alloc(&mut self, seg: &[u32], parent: usize, seq: u64) -> usize {
         self.stored_tokens += seg.len();
-        let node = TNode {
-            seg,
-            parent,
-            children: BTreeMap::new(),
-            targets: BTreeMap::new(),
-            created_seq: seq,
-            dead: false,
-        };
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = node;
+            // Recycled slots were cleared on removal and keep their
+            // buffer capacity, so steady-state churn stops allocating.
+            let n = &mut self.nodes[idx];
+            n.seg.extend_from_slice(seg);
+            n.parent = parent;
+            n.created_seq = seq;
+            n.dead = false;
             idx
         } else {
-            self.nodes.push(node);
+            self.nodes.push(TNode {
+                seg: seg.to_vec(),
+                parent,
+                children: Vec::new(),
+                targets: Vec::new(),
+                created_seq: seq,
+                dead: false,
+            });
             self.nodes.len() - 1
         }
     }
 
     fn split(&mut self, child: usize, keep: usize) -> usize {
         let parent = self.nodes[child].parent;
-        let head: Vec<u32> = self.nodes[child].seg[..keep].to_vec();
-        let tail: Vec<u32> = self.nodes[child].seg[keep..].to_vec();
-        let targets = self.nodes[child].targets.clone();
-        let created_seq = self.nodes[child].created_seq;
-        // Splitting conserves tokens: |head| + |tail| == |seg|.
         let mid = if let Some(idx) = self.free.pop() {
             idx
         } else {
             self.nodes.push(TNode {
                 seg: Vec::new(),
                 parent: ROOT,
-                children: BTreeMap::new(),
-                targets: BTreeMap::new(),
+                children: Vec::new(),
+                targets: Vec::new(),
                 created_seq: 0,
                 dead: true,
             });
             self.nodes.len() - 1
         };
+        // Drain the head out of the child's segment: the child keeps the
+        // tail in place, so splitting conserves tokens without copying
+        // the (typically long) remainder.
+        let (head, targets, created_seq, tail_first) = {
+            let c = &mut self.nodes[child];
+            let head: Vec<u32> = c.seg.drain(..keep).collect();
+            let targets = c.targets.clone();
+            let created_seq = c.created_seq;
+            c.parent = mid;
+            (head, targets, created_seq, c.seg[0])
+        };
         self.nodes[mid] = TNode {
             seg: head,
             parent,
-            children: BTreeMap::new(),
+            children: vec![(tail_first, child)],
             targets,
             created_seq,
             dead: false,
         };
         let mid_first = self.nodes[mid].seg[0];
-        self.nodes[parent].children.insert(mid_first, mid);
-        let tail_first = tail[0];
-        self.nodes[mid].children.insert(tail_first, child);
-        let c = &mut self.nodes[child];
-        c.seg = tail;
-        c.parent = mid;
+        self.nodes[parent].link_child(mid_first, mid);
         mid
     }
 
@@ -346,30 +440,31 @@ impl<T: Copy + Ord> RouteTrie<T> {
         debug_assert!(self.nodes[idx].children.is_empty());
         let parent = self.nodes[idx].parent;
         let first = self.nodes[idx].seg[0];
-        self.nodes[parent].children.remove(&first);
+        self.nodes[parent].unlink_child(first);
+        if parent != ROOT && self.nodes[parent].children.is_empty() {
+            // The parent joins the eviction frontier with its original
+            // creation time, exactly as the full-scan enforcer saw it.
+            self.leaves.insert((self.nodes[parent].created_seq, parent));
+        }
         self.stored_tokens -= self.nodes[idx].seg.len();
+        self.leaves.remove(&(self.nodes[idx].created_seq, idx));
         let n = &mut self.nodes[idx];
         n.dead = true;
-        n.seg = Vec::new();
-        n.targets = BTreeMap::new();
+        n.seg.clear();
+        n.targets.clear();
+        n.children.clear();
         self.free.push(idx);
     }
 
     fn enforce_bound(&mut self) {
         while self.stored_tokens > self.max_tokens {
             // Oldest-created leaf goes first (paper: earliest inserted
-            // records evicted first).
-            let victim = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(i, n)| *i != ROOT && !n.dead && n.children.is_empty())
-                .min_by_key(|(_, n)| n.created_seq)
-                .map(|(i, _)| i);
-            match victim {
-                Some(i) => self.remove_leaf(i),
-                None => break,
-            }
+            // records evicted first); equal ages fall back to the lowest
+            // arena index, matching the old first-minimum full scan.
+            let Some(&(_, idx)) = self.leaves.first() else {
+                break;
+            };
+            self.remove_leaf(idx);
         }
     }
 }
@@ -383,6 +478,7 @@ mod tests {
         let trie: RouteTrie<u32> = RouteTrie::new(1024);
         assert!(trie.best_match(&[1, 2], |_| true).is_none());
         assert!(trie.is_empty());
+        assert_eq!(trie.node_count(), 0);
     }
 
     #[test]
@@ -503,6 +599,20 @@ mod tests {
         trie.insert(&[], 1u32);
         let m = trie.best_match(&[], |_| true).unwrap();
         assert_eq!((m.target, m.matched), (1, 0));
+    }
+
+    #[test]
+    fn recycled_slots_reused_without_leaking_state() {
+        let mut trie = RouteTrie::new(4);
+        trie.insert(&[1, 2, 3, 4], 1u32);
+        trie.check_invariants();
+        // Each new path evicts the previous one and recycles its slot.
+        for round in 0..20u32 {
+            trie.insert(&[10 + round, 20 + round, 30 + round, 40 + round], round);
+            trie.check_invariants();
+            assert_eq!(trie.stored_tokens(), 4);
+            assert_eq!(trie.node_count(), 1);
+        }
     }
 
     mod properties {

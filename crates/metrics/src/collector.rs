@@ -7,7 +7,7 @@
 //! client, first output token, completion — plus token accounting, and
 //! reduces them to a [`RunReport`].
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use skywalker_sim::SimTime;
 
@@ -57,7 +57,13 @@ pub enum RequestOutcome {
 /// ```
 #[derive(Debug, Default)]
 pub struct RequestTracker {
-    records: BTreeMap<u64, Record>,
+    /// Record arena in first-arrival order. Aggregation iterates this vec;
+    /// every reduction in [`report`](Self::report) is order-insensitive
+    /// (integer sums plus sorted-histogram statistics), so the switch from
+    /// id-ordered to arrival-ordered iteration is invisible in results.
+    records: Vec<Record>,
+    /// Request id → arena slot.
+    index: HashMap<u64, usize>, // det-allow(D02): lookup-only — keyed by request id, never iterated
     failed: u64,
     retried: u64,
 }
@@ -68,30 +74,42 @@ impl RequestTracker {
         Self::default()
     }
 
+    fn rec(&self, id: u64) -> Option<&Record> {
+        self.index.get(&id).map(|&slot| &self.records[slot])
+    }
+
+    fn rec_mut(&mut self, id: u64) -> Option<&mut Record> {
+        self.index.get(&id).map(|&slot| &mut self.records[slot])
+    }
+
     /// Records a request issued at `at` with `prompt_tokens` prompt tokens.
     /// Re-registering an id overwrites the previous record.
     pub fn arrival(&mut self, id: u64, at: SimTime, prompt_tokens: u64) {
-        self.records.insert(
-            id,
-            Record {
-                arrived: at,
-                first_token: None,
-                completed: None,
-                failed: false,
-                retried: false,
-                retries: 0,
-                hops: None,
-                prompt_tokens,
-                cached_prompt_tokens: 0,
-                generated_tokens: 0,
-            },
-        );
+        let record = Record {
+            arrived: at,
+            first_token: None,
+            completed: None,
+            failed: false,
+            retried: false,
+            retries: 0,
+            hops: None,
+            prompt_tokens,
+            cached_prompt_tokens: 0,
+            generated_tokens: 0,
+        };
+        match self.index.get(&id) {
+            Some(&slot) => self.records[slot] = record,
+            None => {
+                self.index.insert(id, self.records.len());
+                self.records.push(record);
+            }
+        }
     }
 
     /// Records the first output token for `id`. Unknown ids and repeated
     /// first tokens are ignored (the first observation wins).
     pub fn first_token(&mut self, id: u64, at: SimTime) {
-        if let Some(r) = self.records.get_mut(&id) {
+        if let Some(r) = self.rec_mut(id) {
             r.first_token.get_or_insert(at);
         }
     }
@@ -99,7 +117,7 @@ impl RequestTracker {
     /// Records completion for `id` with the generated token count and how
     /// many prompt tokens were served from the prefix cache.
     pub fn completion(&mut self, id: u64, at: SimTime, generated: u64, cached_prompt: u64) {
-        if let Some(r) = self.records.get_mut(&id) {
+        if let Some(r) = self.rec_mut(id) {
             if r.completed.is_none() && !r.failed {
                 r.completed = Some(at);
                 r.generated_tokens = generated;
@@ -112,11 +130,15 @@ impl RequestTracker {
     /// and its outcome becomes [`RequestOutcome::Failed`]. Failing a
     /// completed (or already-failed) request is ignored.
     pub fn failure(&mut self, id: u64) {
-        if let Some(r) = self.records.get_mut(&id) {
+        let mut newly_failed = false;
+        if let Some(r) = self.rec_mut(id) {
             if r.completed.is_none() && !r.failed {
                 r.failed = true;
-                self.failed += 1;
+                newly_failed = true;
             }
+        }
+        if newly_failed {
+            self.failed += 1;
         }
     }
 
@@ -126,14 +148,18 @@ impl RequestTracker {
     /// comparable across retry-delay and polling configurations.
     /// Unknown, completed, and failed ids are ignored.
     pub fn retry(&mut self, id: u64) {
-        if let Some(r) = self.records.get_mut(&id) {
+        let mut newly_retried = false;
+        if let Some(r) = self.rec_mut(id) {
             if r.completed.is_none() && !r.failed {
                 r.retries += 1;
                 if !r.retried {
                     r.retried = true;
-                    self.retried += 1;
+                    newly_retried = true;
                 }
             }
+        }
+        if newly_retried {
+            self.retried += 1;
         }
     }
 
@@ -143,7 +169,7 @@ impl RequestTracker {
     /// the recorded value is the full length of the forwarding chain.
     /// Unknown ids are ignored.
     pub fn record_hops(&mut self, id: u64, hops: u8) {
-        if let Some(r) = self.records.get_mut(&id) {
+        if let Some(r) = self.rec_mut(id) {
             r.hops = Some(r.hops.map_or(hops, |h| h.max(hops)));
         }
     }
@@ -152,25 +178,25 @@ impl RequestTracker {
     /// observers (the telemetry plane's TTFT sketch) compute latencies
     /// without shadow-tracking arrival times.
     pub fn arrival_time(&self, id: u64) -> Option<SimTime> {
-        self.records.get(&id).map(|r| r.arrived)
+        self.rec(id).map(|r| r.arrived)
     }
 
     /// The forwarding-chain length recorded for `id`, or `None` if the
     /// request never reached a balancer (or was never registered).
     pub fn hops_of(&self, id: u64) -> Option<u8> {
-        self.records.get(&id).and_then(|r| r.hops)
+        self.rec(id).and_then(|r| r.hops)
     }
 
     /// How many times `id` bounced onto another path (0 if never, or if
     /// the id was never registered). Unlike [`RunReport::retried`],
     /// this counts *events*, not requests.
     pub fn retries_of(&self, id: u64) -> u32 {
-        self.records.get(&id).map_or(0, |r| r.retries)
+        self.rec(id).map_or(0, |r| r.retries)
     }
 
     /// The outcome of a tracked request, or `None` if never registered.
     pub fn outcome(&self, id: u64) -> Option<RequestOutcome> {
-        self.records.get(&id).map(|r| {
+        self.rec(id).map(|r| {
             if r.completed.is_some() {
                 RequestOutcome::Completed
             } else if r.failed {
@@ -207,7 +233,7 @@ impl RequestTracker {
         let mut cached_tokens = 0u64;
         let mut generated_tokens = 0u64;
         let mut retry_events = 0u64;
-        for r in self.records.values() {
+        for r in &self.records {
             if let Some(ft) = r.first_token {
                 ttft.record(ft.saturating_since(r.arrived).as_secs_f64());
             }

@@ -11,7 +11,7 @@
 //! enum and implement [`World::handle`].
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -39,10 +39,13 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    fn new(now: SimTime) -> Self {
+    /// `buffered` is handed in by the engine so its capacity can be
+    /// recycled across handler invocations.
+    fn with_buffer(now: SimTime, buffered: Vec<(SimTime, E)>) -> Self {
+        debug_assert!(buffered.is_empty());
         Scheduler {
             now,
-            buffered: Vec::new(),
+            buffered,
             stop_requested: false,
         }
     }
@@ -145,9 +148,21 @@ pub struct RunStats {
 /// ```
 pub struct Engine<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Same-instant run of entries drained from the heap in one go, kept
+    /// sorted by sequence number. Dense instants (dispatch storms, batch
+    /// completions fanning out) deliver from here without touching the
+    /// heap, and handler-scheduled events at the current instant append
+    /// here directly — their sequence numbers are strictly larger than
+    /// anything already drained, so FIFO order is preserved by
+    /// construction.
+    batch: VecDeque<Entry<E>>,
+    /// Recycled `Scheduler` buffer: handlers append into this vec, the
+    /// engine drains it and keeps the capacity for the next handler.
+    scratch: Vec<(SimTime, E)>,
     now: SimTime,
     seq: u64,
     delivered: u64,
+    peak_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -161,9 +176,12 @@ impl<E> Engine<E> {
     pub fn new() -> Self {
         Engine {
             heap: BinaryHeap::new(),
+            batch: VecDeque::new(),
+            scratch: Vec::new(),
             now: SimTime::ZERO,
             seq: 0,
             delivered: 0,
+            peak_pending: 0,
         }
     }
 
@@ -174,12 +192,19 @@ impl<E> Engine<E> {
 
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.batch.len()
     }
 
     /// Number of events delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// High-water mark of the pending-event count, observed just before
+    /// each delivery (so the event being delivered counts). Capacity
+    /// planning for paper-scale populations keys off this.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Schedules an event at an absolute instant before the run starts (or
@@ -209,23 +234,54 @@ impl<E> Engine<E> {
     /// jump to `deadline`), so interleaved `run_until` calls remain exact.
     pub fn run_until<W: World<Event = E>>(&mut self, world: &mut W, deadline: SimTime) -> RunStats {
         let mut stopped_early = false;
-        while let Some(head) = self.heap.peek() {
-            if head.at > deadline {
-                break;
+        loop {
+            if self.batch.is_empty() {
+                // Refill: drain the entire run of earliest-instant entries
+                // out of the heap at once. The heap pops equal-time entries
+                // in sequence order, so the batch is FIFO by construction.
+                let Some(head) = self.heap.peek() else { break };
+                if head.at > deadline {
+                    break;
+                }
+                let first = self.heap.pop().expect("peeked entry must exist");
+                let instant = first.at;
+                self.batch.push_back(first);
+                while self.heap.peek().is_some_and(|e| e.at == instant) {
+                    let e = self.heap.pop().expect("peeked entry must exist");
+                    self.batch.push_back(e);
+                }
             }
-            let entry = self.heap.pop().expect("peeked entry must exist");
+            let depth = self.heap.len() + self.batch.len();
+            if depth > self.peak_pending {
+                self.peak_pending = depth;
+            }
+            let entry = self.batch.pop_front().expect("batch refilled above");
             debug_assert!(entry.at >= self.now, "event queue went backwards");
             self.now = entry.at;
             self.delivered += 1;
 
-            let mut sched = Scheduler::new(self.now);
+            let mut sched = Scheduler::with_buffer(self.now, std::mem::take(&mut self.scratch));
             world.handle(self.now, entry.event, &mut sched);
-            for (at, event) in sched.buffered {
+            let mut buffered = sched.buffered;
+            for (at, event) in buffered.drain(..) {
                 let seq = self.seq;
                 self.seq += 1;
-                self.heap.push(Entry { at, seq, event });
+                if at == self.now {
+                    // Same-instant follow-up: joins the tail of the live
+                    // batch (its seq exceeds every drained entry's).
+                    self.batch.push_back(Entry { at, seq, event });
+                } else {
+                    self.heap.push(Entry { at, seq, event });
+                }
             }
+            self.scratch = buffered;
             if sched.stop_requested {
+                // Undelivered batch entries go back to the heap so
+                // `pending()` stays truthful and a resumed run picks them
+                // up first (their seqs still order them correctly).
+                while let Some(e) = self.batch.pop_front() {
+                    self.heap.push(e);
+                }
                 stopped_early = true;
                 break;
             }
@@ -366,6 +422,64 @@ mod tests {
         let stats = engine.run(&mut W2);
         assert_eq!(stats.delivered, 2);
         assert_eq!(stats.end_time, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn same_instant_followups_deliver_fifo_after_batch() {
+        // A handler that schedules at the current instant: its event must
+        // come after every event already scheduled at that instant,
+        // exactly as the one-at-a-time heap loop delivered them.
+        struct Log(std::rc::Rc<std::cell::RefCell<Vec<u32>>>);
+        impl World for Log {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.0.borrow_mut().push(ev);
+                if ev == 0 {
+                    // Fires at the same instant: must land *after* 1 and 2.
+                    sched.after(SimDuration::ZERO, 100);
+                }
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut engine = Engine::new();
+        for tag in [0u32, 1, 2] {
+            engine.schedule(SimTime::from_micros(5), tag);
+        }
+        engine.run(&mut Log(seen.clone()));
+        assert_eq!(*seen.borrow(), vec![0, 1, 2, 100]);
+    }
+
+    #[test]
+    fn stop_mid_batch_returns_remnants_to_queue() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_micros(1), Ev::StopNow);
+        engine.schedule(SimTime::from_micros(1), Ev::Tag(7));
+        engine.schedule(SimTime::from_micros(1), Ev::Tag(8));
+        let mut w = Recorder::default();
+        let stats = engine.run(&mut w);
+        assert!(stats.stopped_early);
+        assert_eq!(w.seen.len(), 1);
+        assert_eq!(
+            engine.pending(),
+            2,
+            "undelivered same-instant events survive"
+        );
+        // Resume delivers the remnants in their original order.
+        engine.run(&mut w);
+        let tags: Vec<&Ev> = w.seen.iter().map(|(_, e)| e).collect();
+        assert_eq!(tags, vec![&Ev::StopNow, &Ev::Tag(7), &Ev::Tag(8)]);
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule(SimTime::from_micros(i), Ev::Tag(i as u32));
+        }
+        let mut w = Recorder::default();
+        engine.run(&mut w);
+        assert_eq!(engine.peak_pending(), 10);
+        assert_eq!(engine.pending(), 0);
     }
 
     #[test]

@@ -644,6 +644,10 @@ pub struct RunSummary {
     pub peak_outstanding: Vec<u32>,
     /// Largest balancer-side queue observed across all balancers.
     pub peak_lb_queue: usize,
+    /// High-water mark of the simulation engine's pending-event count —
+    /// the event-queue depth capacity planning keys off when scaling
+    /// client populations.
+    pub peak_events: usize,
     /// Max/min ratio of per-replica peak KV utilization (Fig. 4b).
     pub kv_peak_gap: f64,
     /// Per-replica KV-utilization traces.
@@ -918,6 +922,17 @@ struct Fabric {
     /// point, for emitting per-iteration eviction deltas (indexed like
     /// `replicas`; only consulted while tracing).
     last_evicted: Vec<u64>,
+    /// Scratch for [`Ev::ProbeTick`]'s per-balancer replica walk, reused
+    /// across ticks instead of allocating a fresh id list per balancer.
+    probe_ids: Vec<ReplicaId>,
+    /// Scratch for the peer-status fan-out assembled on every probe tick.
+    probe_statuses: Vec<(u32, Region, u32, u32)>,
+    /// Reused [`FleetObservation`] handed to the fleet plan each poll;
+    /// its vecs keep their capacity between polls.
+    obs_scratch: FleetObservation,
+    /// Scratch for [`Fabric::record_fleet`]'s per-region counts, kept
+    /// sorted by region (the same order the `BTreeMap` build iterated).
+    fleet_counts: Vec<(Region, f64)>,
 }
 
 impl Fabric {
@@ -1203,59 +1218,59 @@ impl Fabric {
         }
     }
 
-    /// Assembles the control-plane snapshot handed to the fleet plan.
-    fn observe(&self, now: SimTime) -> FleetObservation {
-        let replicas = self
-            .replicas
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| match self.replica_health[i] {
-                ReplicaHealth::Active | ReplicaHealth::Draining => Some(ReplicaObservation {
-                    id: ReplicaId(i as u32),
-                    region: self.replica_region[i],
-                    pending: r.pending_len() as u32,
-                    running: r.running_len() as u32,
-                    kv_utilization: r.kv_utilization(),
-                    draining: self.replica_health[i] == ReplicaHealth::Draining,
-                }),
-                ReplicaHealth::Retired | ReplicaHealth::Crashed => None,
-            })
-            .collect();
-        let balancers = self
-            .lbs
-            .iter()
-            .enumerate()
-            .map(|(i, lb)| LbObservation {
+    /// Assembles the control-plane snapshot handed to the fleet plan into
+    /// a caller-provided (reused) observation.
+    fn observe_into(&self, now: SimTime, obs: &mut FleetObservation) {
+        obs.now = now;
+        obs.replicas.clear();
+        obs.replicas
+            .extend(self.replicas.iter().enumerate().filter_map(
+                |(i, r)| match self.replica_health[i] {
+                    ReplicaHealth::Active | ReplicaHealth::Draining => Some(ReplicaObservation {
+                        id: ReplicaId(i as u32),
+                        region: self.replica_region[i],
+                        pending: r.pending_len() as u32,
+                        running: r.running_len() as u32,
+                        kv_utilization: r.kv_utilization(),
+                        draining: self.replica_health[i] == ReplicaHealth::Draining,
+                    }),
+                    ReplicaHealth::Retired | ReplicaHealth::Crashed => None,
+                },
+            ));
+        obs.balancers.clear();
+        obs.balancers
+            .extend(self.lbs.iter().enumerate().map(|(i, lb)| LbObservation {
                 index: i as u32,
                 region: lb.region(),
                 queue: lb.queue_len() as u32,
                 outstanding: lb.outstanding(),
                 alive: self.lb_alive[i],
-            })
-            .collect();
-        FleetObservation {
-            now,
-            replicas,
-            balancers,
-        }
+            }));
     }
 
     /// Appends the current per-region serving-replica counts to the
     /// fleet-size traces.
     fn record_fleet(&mut self, now: SimTime) {
-        let mut counts: BTreeMap<Region, f64> =
-            self.fleet_sizes.keys().map(|r| (*r, 0.0)).collect();
+        let mut counts = std::mem::take(&mut self.fleet_counts);
+        counts.clear();
+        // Seeded from the (region-sorted) trace map so regions that lost
+        // every replica still record an explicit zero.
+        counts.extend(self.fleet_sizes.keys().map(|r| (*r, 0.0)));
         for (i, &region) in self.replica_region.iter().enumerate() {
             if self.replica_health[i] == ReplicaHealth::Active {
-                *counts.entry(region).or_insert(0.0) += 1.0;
+                match counts.binary_search_by(|(r, _)| r.cmp(&region)) {
+                    Ok(slot) => counts[slot].1 += 1.0,
+                    Err(slot) => counts.insert(slot, (region, 1.0)),
+                }
             }
         }
-        for (region, count) in counts {
+        for &(region, count) in &counts {
             self.fleet_sizes
                 .entry(region)
                 .or_insert_with(|| TimeSeries::new(format!("fleet/{region:?}")))
                 .record(now, count);
         }
+        self.fleet_counts = counts;
     }
 
     /// The balancer a joining replica in `region` attaches to: the
@@ -1673,11 +1688,14 @@ impl World for Fabric {
                 self.request_finished(client, sched);
             }
             Ev::ProbeTick => {
+                let mut ids = std::mem::take(&mut self.probe_ids);
                 for (li, lb) in self.lbs.iter_mut().enumerate() {
                     if !self.lb_alive[li] {
                         continue;
                     }
-                    for rid in lb.replica_ids() {
+                    ids.clear();
+                    lb.replica_ids_into(&mut ids);
+                    for &rid in &ids {
                         let r = &self.replicas[rid.0 as usize];
                         lb.on_replica_probe(
                             rid,
@@ -1691,22 +1709,25 @@ impl World for Fabric {
                         }
                     }
                 }
+                self.probe_ids = ids;
                 for (ri, r) in self.replicas.iter().enumerate() {
                     if self.replica_health[ri] != ReplicaHealth::Crashed {
                         self.kv_series[ri].record(now, r.kv_utilization());
                     }
                 }
                 if self.forward_enabled {
-                    let statuses: Vec<(u32, Region, u32, u32)> = self
-                        .lbs
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| self.lb_alive[*i])
-                        .map(|(i, lb)| {
-                            let (avail, qlen) = lb.status();
-                            (i as u32, lb.region(), avail, qlen)
-                        })
-                        .collect();
+                    let mut statuses = std::mem::take(&mut self.probe_statuses);
+                    statuses.clear();
+                    statuses.extend(
+                        self.lbs
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| self.lb_alive[*i])
+                            .map(|(i, lb)| {
+                                let (avail, qlen) = lb.status();
+                                (i as u32, lb.region(), avail, qlen)
+                            }),
+                    );
                     for (to, lb) in self.lbs.iter().enumerate() {
                         if !self.lb_alive[to] {
                             continue;
@@ -1731,6 +1752,7 @@ impl World for Fabric {
                             );
                         }
                     }
+                    self.probe_statuses = statuses;
                 }
                 for li in 0..self.lbs.len() {
                     if self.lb_alive[li] {
@@ -1774,7 +1796,15 @@ impl World for Fabric {
                 if self.plan.is_none() {
                     return;
                 }
-                let obs = self.observe(now);
+                let mut obs = std::mem::replace(
+                    &mut self.obs_scratch,
+                    FleetObservation {
+                        now: SimTime::ZERO,
+                        replicas: Vec::new(),
+                        balancers: Vec::new(),
+                    },
+                );
+                self.observe_into(now, &mut obs);
                 // Look one poll interval ahead so every scheduled
                 // command can fire at its exact instant instead of
                 // being quantized to poll boundaries.
@@ -1783,6 +1813,7 @@ impl World for Fabric {
                 let commands = plan.next_events(horizon, &obs, &mut self.fleet_rng);
                 let done = plan.is_done();
                 self.plan = Some(plan);
+                self.obs_scratch = obs;
                 for FleetCommand { at, event } in commands {
                     sched.at(at, Ev::FleetApply { event });
                 }
@@ -2023,6 +2054,14 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         tracer: cfg.trace.map(TraceRecorder::new),
         telemetry: telemetry_plane,
         last_evicted: vec![0; n_replicas],
+        probe_ids: Vec::new(),
+        probe_statuses: Vec::new(),
+        obs_scratch: FleetObservation {
+            now: SimTime::ZERO,
+            replicas: Vec::new(),
+            balancers: Vec::new(),
+        },
+        fleet_counts: Vec::new(),
     };
     world.record_fleet(SimTime::ZERO);
 
@@ -2134,6 +2173,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         outstanding_imbalance,
         peak_outstanding: world.peak_outstanding,
         peak_lb_queue,
+        peak_events: engine.peak_pending(),
         kv_peak_gap,
         kv_series: world.kv_series,
         fleet,

@@ -6,9 +6,10 @@
 //! digests *across* builds): here we pin them *within* a build, where a
 //! violation points at ambient state rather than intended change.
 
+use skywalker::sim::SimDuration;
 use skywalker::{
-    fig8_recipe, fig8_scenario, memory_pressure_scenario, run_scenario, EngineSpec, FabricConfig,
-    RunSummary, Scenario, SystemKind, Workload,
+    diurnal_recipe, fig10_diurnal_scenario, fig8_recipe, fig8_scenario, memory_pressure_scenario,
+    run_scenario, EngineSpec, FabricConfig, RunSummary, Scenario, SystemKind, Workload,
 };
 use skywalker_lab::SweepSpec;
 use skywalker_metrics::json::{Report, Val};
@@ -76,6 +77,40 @@ fn memory_pressure_preset_is_stable_across_reruns() {
     assert_double_run("memory_pressure", |seed| {
         memory_pressure_scenario(EngineSpec::default(), 0.25, seed)
     });
+}
+
+/// The compressed diurnal day at the scale-curve's 0.25 point. The
+/// perf pass rebuilt the hot paths this preset leans on (trie child
+/// maps, engine batch drain, fabric scratch buffers), so it gets its
+/// own in-process stability cell alongside the legacy presets.
+#[test]
+fn diurnal_preset_is_stable_across_reruns() {
+    assert_double_run("diurnal_q25", |seed| {
+        fig10_diurnal_scenario(SystemKind::SkyWalker, 2, DIURNAL_DAY, 0.25, seed)
+    });
+}
+
+/// Sim-day length of the diurnal determinism cells: long enough to
+/// cross several demand-curve segments, short enough for a debug-build
+/// test run.
+const DIURNAL_DAY: SimDuration = SimDuration::from_secs(120);
+
+/// The diurnal cell again, through the lab's parallel executor: worker
+/// count must be invisible in the rendered sweep report.
+#[test]
+fn lab_diurnal_sweep_is_worker_count_invariant() {
+    let sweep = || {
+        SweepSpec::new("double-run-diurnal", 42).replicates(2).cell(
+            "skywalker-diurnal-q25",
+            diurnal_recipe(SystemKind::SkyWalker, 2, DIURNAL_DAY, 0.25),
+        )
+    };
+    let serial = sweep().run(1).report().json_string();
+    let parallel = sweep().run(2).report().json_string();
+    assert_eq!(
+        serial, parallel,
+        "diurnal sweep results must be bit-identical at any worker count"
+    );
 }
 
 /// The lab's slot-addressed pool must be invisible in the results: the

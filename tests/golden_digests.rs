@@ -24,9 +24,9 @@
 
 use skywalker::sim::SimDuration;
 use skywalker::{
-    fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario, run_scenario,
-    EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary,
-    Scenario, ShortestPromptFirst, SystemKind, TraceConfig, Workload,
+    fig10_diurnal_scenario, fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario,
+    run_scenario, EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor,
+    RunSummary, Scenario, ShortestPromptFirst, SystemKind, TraceConfig, Workload,
 };
 use skywalker_metrics::json::{Report, Val};
 
@@ -218,6 +218,27 @@ fn golden_figures() {
         ),
     ];
     run_group("figures", cells);
+}
+
+/// The compressed diurnal day at the scale-curve's 0.1 point: pins the
+/// exact preset family the perf pass optimized (trie-heavy routing over
+/// the trio demand curves), so hot-path rewrites stay behavior-
+/// preserving at the byte level.
+#[test]
+fn golden_diurnal() {
+    let cells: CellList = vec![(
+        "diurnal-q10".to_string(),
+        Box::new(|seed| {
+            fig10_diurnal_scenario(
+                SystemKind::SkyWalker,
+                2,
+                SimDuration::from_secs(240),
+                0.1,
+                seed,
+            )
+        }),
+    )];
+    run_group("diurnal", cells);
 }
 
 fn memory_pressure_cells() -> CellList {
