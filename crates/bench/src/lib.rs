@@ -118,7 +118,36 @@ pub mod rows {
             ("hit_rate", Val::from(s.replica_hit_rate)),
             ("preempted", Val::from(s.preempted)),
             ("evicted_tokens", Val::from(s.evicted_tokens)),
+            ("demoted_tokens", Val::from(s.demoted_tokens)),
+            ("promoted_tokens", Val::from(s.promoted_tokens)),
+            ("kv_transfers", Val::from(s.transfers.started)),
+            ("kv_transfer_tokens", Val::from(s.transfers.tokens_sent)),
             ("chunked_steps", Val::from(s.chunked_steps)),
+            ("end_time_s", Val::from(s.end_time.as_secs_f64())),
+        ]
+    }
+
+    /// One `BENCH_disagg.json` row: the prefill/decode-disaggregation
+    /// shootout schema — workload shape, split-vs-colocated mode, the
+    /// latency verdict, the handoff/tier counters, and the
+    /// replica-seconds cost of the run.
+    pub fn disagg_row(workload: &str, mode: &str, s: &RunSummary) -> Vec<(&'static str, Val)> {
+        let replica_seconds = s.fleet.mean_total() * s.end_time.as_secs_f64();
+        vec![
+            ("workload", Val::from(workload)),
+            ("mode", Val::from(mode)),
+            ("completed", Val::from(s.report.completed)),
+            ("failed", Val::from(s.report.failed)),
+            ("ttft_p50_s", Val::from(s.report.ttft.p50)),
+            ("ttft_p90_s", Val::from(s.report.ttft.p90)),
+            ("e2e_p90_s", Val::from(s.report.e2e.p90)),
+            ("tok_s", Val::from(s.report.throughput_tps)),
+            ("hit_rate", Val::from(s.replica_hit_rate)),
+            ("kv_transfers", Val::from(s.transfers.started)),
+            ("kv_transfer_tokens", Val::from(s.transfers.tokens_sent)),
+            ("demoted_tokens", Val::from(s.demoted_tokens)),
+            ("promoted_tokens", Val::from(s.promoted_tokens)),
+            ("replica_seconds", Val::from(replica_seconds)),
             ("end_time_s", Val::from(s.end_time.as_secs_f64())),
         ]
     }
@@ -259,7 +288,35 @@ mod tests {
                 "hit_rate",
                 "preempted",
                 "evicted_tokens",
+                "demoted_tokens",
+                "promoted_tokens",
+                "kv_transfers",
+                "kv_transfer_tokens",
                 "chunked_steps",
+                "end_time_s"
+            ]
+        );
+        let keys: Vec<&str> = rows::disagg_row("w", "m", &s)
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "workload",
+                "mode",
+                "completed",
+                "failed",
+                "ttft_p50_s",
+                "ttft_p90_s",
+                "e2e_p90_s",
+                "tok_s",
+                "hit_rate",
+                "kv_transfers",
+                "kv_transfer_tokens",
+                "demoted_tokens",
+                "promoted_tokens",
+                "replica_seconds",
                 "end_time_s"
             ]
         );

@@ -123,6 +123,12 @@ pub struct ReplicaStats {
     /// [`Replica::fail_all`]: the failed in-flight leases' pinned paths
     /// (which may overlap) plus their private decode tokens.
     pub crash_reclaimed_tokens: u64,
+    /// Block-rounded KV tokens demoted GPU→host by a tiered cache
+    /// (cumulative; mirrored from the [`PrefixCache`]; 0 when untiered).
+    pub demoted_tokens: u64,
+    /// Block-rounded KV tokens promoted host→GPU on cache hits, each
+    /// paid for as transfer time inside the admitting iteration.
+    pub promoted_tokens: u64,
 }
 
 impl ReplicaStats {
@@ -168,6 +174,9 @@ pub struct Replica {
     /// The open admission/scheduling policy driving [`Replica::step`].
     policy: Box<dyn BatchPolicy>,
     stats: ReplicaStats,
+    /// Cumulative promoted tokens already charged as transfer time, so
+    /// each [`Replica::step`] bills only its own promotions.
+    promoted_charged: u64,
 }
 
 impl Replica {
@@ -203,6 +212,7 @@ impl Replica {
             reserved_tokens: 0,
             policy: batch,
             stats: ReplicaStats::default(),
+            promoted_charged: 0,
         }
     }
 
@@ -255,6 +265,8 @@ impl Replica {
     pub fn stats(&self) -> ReplicaStats {
         let mut s = self.stats;
         s.evicted_tokens = self.cache.evicted_tokens();
+        s.demoted_tokens = self.cache.demoted_tokens();
+        s.promoted_tokens = self.cache.promoted_tokens();
         s
     }
 
@@ -266,6 +278,22 @@ impl Replica {
     /// Direct access to the prefix cache (read-only).
     pub fn cache(&self) -> &PrefixCache {
         &self.cache
+    }
+
+    /// Lands transferred KV state in the cache ahead of a disaggregated
+    /// handoff: inserts `tokens` as a resident (unpinned) prefix, as if
+    /// the replica had prefilled and released it. Returns `false` when
+    /// the cache cannot make room — the decode replica then simply
+    /// re-prefills on admission, so a failed prewarm costs time, never
+    /// correctness.
+    pub fn prewarm(&mut self, tokens: &[u32]) -> bool {
+        match self.cache.acquire(tokens) {
+            Ok((lease, _matched)) => {
+                self.cache.release(lease);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Executes one continuous-batching iteration: ask the
@@ -488,7 +516,7 @@ impl Replica {
         for &i in finished.iter().rev() {
             let run = self.running.swap_remove(i);
             let generated_ids: Vec<u32> = (0..run.generated)
-                .map(|k| output_token(run.req.id.0, k))
+                .map(|k| output_token(run.req.id.0, run.req.output_offset + k))
                 .collect();
             self.private_tokens -= u64::from(run.generated);
             self.cache.complete(run.lease, &generated_ids);
@@ -507,6 +535,17 @@ impl Replica {
             .peak_batch
             .max((self.running.len() + out.completions.len()) as u32);
         self.stats.peak_kv_utilization = self.stats.peak_kv_utilization.max(self.kv_utilization());
+        // Promote-on-hit cost: host→GPU KV movement triggered by this
+        // iteration's admissions rides on the iteration clock, exactly
+        // like the prefill work it replaced. Untiered caches never
+        // promote, keeping this a byte-identical no-op.
+        let promoted = self.cache.promoted_tokens();
+        if promoted > self.promoted_charged {
+            out.duration += self
+                .profile
+                .kv_transfer_time(promoted - self.promoted_charged);
+            self.promoted_charged = promoted;
+        }
         out
     }
 
@@ -597,6 +636,7 @@ mod tests {
             decode_per_request_us: 100.0,
             kv: KvConfig::tiny(capacity),
             max_batch_size: max_batch,
+            kv_transfer_us_per_token: 1.0,
         }
     }
 

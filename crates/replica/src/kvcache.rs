@@ -142,6 +142,14 @@ pub trait KvEvictor: fmt::Debug + Send + Sync + CloneKvEvictor {
 
     /// Display label for experiment tables, e.g. `"lru"`.
     fn label(&self) -> String;
+
+    /// Host-tier capacity this evictor grants the cache, in tokens.
+    /// `None` (the default) keeps the cache single-tier: victims are
+    /// dropped. [`TieredEvictor`] overrides this to turn the same
+    /// victim choice into a GPU→host *demotion* instead.
+    fn host_budget(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl Clone for Box<dyn KvEvictor> {
@@ -208,6 +216,54 @@ impl KvEvictor for PrefixAwareEvictor {
     }
 }
 
+/// Two-tier wrapper around any [`KvEvictor`]: the inner policy still
+/// picks *which* victim goes first, but instead of dropping it the
+/// cache demotes it to a host-memory tier of `host_budget` tokens.
+/// Host-resident prefixes keep their tree position, still count as
+/// cache hits, and are promoted back to GPU on their next match —
+/// paying a per-token promote cost the replica models as transfer
+/// time. When the host tier itself overflows, its least-recently-used
+/// entries are dropped for real.
+///
+/// `host_budget = 0` is byte-identical to the unwrapped inner evictor:
+/// no node is ever demoted, so every pick, hit, and counter matches.
+#[derive(Debug, Clone)]
+pub struct TieredEvictor {
+    inner: Box<dyn KvEvictor>,
+    host_budget: u64,
+}
+
+impl TieredEvictor {
+    /// Wraps `inner` with a host tier of `host_budget` tokens.
+    pub fn new(inner: Box<dyn KvEvictor>, host_budget: u64) -> Self {
+        TieredEvictor { inner, host_budget }
+    }
+}
+
+impl KvEvictor for TieredEvictor {
+    fn pick(&mut self, candidates: &[EvictCandidate]) -> Option<usize> {
+        self.inner.pick(candidates)
+    }
+
+    fn label(&self) -> String {
+        format!("{}+host{}", self.inner.label(), self.host_budget)
+    }
+
+    fn host_budget(&self) -> Option<u64> {
+        Some(self.host_budget)
+    }
+}
+
+/// Residency tier of one cache node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// On-accelerator: usable by the batch directly.
+    Gpu,
+    /// Demoted to host memory: still a hit, but must be promoted (paid
+    /// for as transfer time) before the batch can use it.
+    Host,
+}
+
 /// A pinned path in the cache, held by one running request.
 ///
 /// Leases are move-only tickets: they must be returned via
@@ -242,6 +298,9 @@ struct Node {
     hits: u64,
     /// True if the slot is on the free list.
     dead: bool,
+    /// Residency tier. Host nodes are always unpinned childless leaves;
+    /// matching one promotes it back to GPU before use.
+    tier: Tier,
 }
 
 const ROOT: usize = 0;
@@ -257,6 +316,10 @@ struct WalkPin {
     pending_split: Option<(usize, usize)>,
     /// Every node whose refcount this walk incremented.
     pinned: Vec<usize>,
+    /// Host-tier nodes this walk matched; [`PrefixCache::apply`]
+    /// promotes them to GPU (their charge is part of the room
+    /// [`PrefixCache::make_room`] secures).
+    promote: Vec<usize>,
 }
 
 /// The radix-tree prefix cache.
@@ -288,6 +351,14 @@ pub struct PrefixCache {
     evicted_tokens: u64,
     /// The open eviction policy (default: [`LruEvictor`]).
     evictor: Box<dyn KvEvictor>,
+    /// Host-tier capacity in tokens (0 = single-tier; victims drop).
+    host_budget: u64,
+    /// Block-rounded tokens currently resident in the host tier.
+    host_used: u64,
+    /// Cumulative block-rounded tokens demoted GPU→host.
+    demoted_tokens: u64,
+    /// Cumulative block-rounded tokens promoted host→GPU.
+    promoted_tokens: u64,
 }
 
 impl PrefixCache {
@@ -297,7 +368,10 @@ impl PrefixCache {
     }
 
     /// Creates an empty cache that reclaims space through `evictor`.
+    /// A [`TieredEvictor`] additionally opens the host tier its
+    /// [`KvEvictor::host_budget`] declares.
     pub fn with_evictor(cfg: KvConfig, evictor: Box<dyn KvEvictor>) -> Self {
+        let host_budget = evictor.host_budget().unwrap_or(0);
         PrefixCache {
             cfg,
             nodes: vec![Node {
@@ -308,6 +382,7 @@ impl PrefixCache {
                 last_used: 0,
                 hits: 0,
                 dead: false,
+                tier: Tier::Gpu,
             }],
             free: Vec::new(),
             used_tokens: 0,
@@ -316,6 +391,10 @@ impl PrefixCache {
             total_cached_tokens: 0,
             evicted_tokens: 0,
             evictor,
+            host_budget,
+            host_used: 0,
+            demoted_tokens: 0,
+            promoted_tokens: 0,
         }
     }
 
@@ -327,6 +406,41 @@ impl PrefixCache {
     /// Cumulative block-rounded tokens reclaimed by eviction.
     pub fn evicted_tokens(&self) -> u64 {
         self.evicted_tokens
+    }
+
+    /// Host-tier capacity in tokens (0 when the cache is single-tier).
+    pub fn host_budget(&self) -> u64 {
+        self.host_budget
+    }
+
+    /// Block-rounded tokens resident on the GPU tier — identical to
+    /// [`PrefixCache::used_tokens`]; named for symmetry with
+    /// [`PrefixCache::host_used_tokens`] in tier-accounting tests.
+    pub fn gpu_used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Block-rounded tokens resident in the host tier.
+    pub fn host_used_tokens(&self) -> u64 {
+        self.host_used
+    }
+
+    /// Total resident tokens across both tiers. The tier-conservation
+    /// invariant `gpu_used + host_used == total_resident` holds by
+    /// construction; the property suite asserts it after every op.
+    pub fn total_resident_tokens(&self) -> u64 {
+        self.used_tokens + self.host_used
+    }
+
+    /// Cumulative block-rounded tokens demoted GPU→host.
+    pub fn demoted_tokens(&self) -> u64 {
+        self.demoted_tokens
+    }
+
+    /// Cumulative block-rounded tokens promoted host→GPU (each paid
+    /// for by the replica as transfer time).
+    pub fn promoted_tokens(&self) -> u64 {
+        self.promoted_tokens
     }
 
     /// Tokens currently pinned by live leases (block-rounded charge of
@@ -398,13 +512,43 @@ impl PrefixCache {
     pub fn reclaimable_tokens(&self) -> u64 {
         // A node is reclaimable iff no lease passes through it; whole
         // unpinned subtrees drain leaf-first, so counting every unpinned
-        // node is exact.
+        // GPU node is exact (host nodes are already off the GPU).
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs == 0)
+            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs == 0 && n.tier == Tier::Gpu)
             .map(|(_, n)| self.cfg.charge(n.seg.len()))
             .sum()
+    }
+
+    /// Like [`PrefixCache::matched_tokens`], but split by residency
+    /// tier: `(gpu_matched, host_matched)`. Routers use this to
+    /// discount host-resident prefixes — a host hit still skips
+    /// prefill but pays promote-on-hit transfer time.
+    pub fn matched_tokens_tiered(&self, tokens: &[u32]) -> (u64, u64) {
+        let mut node = ROOT;
+        let mut matched = 0usize;
+        let mut host = 0u64;
+        while matched < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[matched]) else {
+                break;
+            };
+            let seg = &self.nodes[child].seg;
+            let common = seg
+                .iter()
+                .zip(&tokens[matched..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            if self.nodes[child].tier == Tier::Host {
+                host += common as u64;
+            }
+            matched += common;
+            if common < seg.len() {
+                break;
+            }
+            node = child;
+        }
+        (matched as u64 - host, host)
     }
 
     /// Inserts `tokens` (a full prompt) and pins its path, evicting
@@ -498,14 +642,26 @@ impl PrefixCache {
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
         let mut used = 0u64;
+        let mut host = 0u64;
         for (i, n) in self.nodes.iter().enumerate() {
             if n.dead || i == ROOT {
                 continue;
             }
-            used += self.cfg.charge(n.seg.len());
+            match n.tier {
+                Tier::Gpu => used += self.cfg.charge(n.seg.len()),
+                Tier::Host => {
+                    host += self.cfg.charge(n.seg.len());
+                    assert_eq!(n.refs, 0, "host-resident node is pinned");
+                    assert!(
+                        n.children.is_empty(),
+                        "host-resident node has children (must stay a leaf)"
+                    );
+                }
+            }
             assert!(!n.seg.is_empty(), "non-root node with empty segment");
             let parent = &self.nodes[n.parent];
             assert!(!parent.dead, "live node under dead parent");
+            assert_eq!(parent.tier, Tier::Gpu, "live node under host parent");
             assert!(
                 parent.refs >= n.refs,
                 "child refs exceed parent refs ({} > {})",
@@ -519,6 +675,18 @@ impl PrefixCache {
             );
         }
         assert_eq!(used, self.used_tokens, "used-token accounting drifted");
+        assert_eq!(host, self.host_used, "host-token accounting drifted");
+        assert!(
+            self.host_used <= self.host_budget,
+            "host budget exceeded: {} > {}",
+            self.host_used,
+            self.host_budget
+        );
+        assert_eq!(
+            self.used_tokens + self.host_used,
+            self.total_resident_tokens(),
+            "tier accounting must partition total residency"
+        );
         assert!(
             self.used_tokens <= self.cfg.capacity_tokens,
             "capacity exceeded: {} > {}",
@@ -547,6 +715,7 @@ impl PrefixCache {
         let mut pos = 0usize;
         let mut pinned = Vec::new();
         let mut pending_split = None;
+        let mut promote = Vec::new();
         while pos < tokens.len() {
             let Some(&child) = self.nodes[node].children.get(&tokens[pos]) else {
                 break;
@@ -562,6 +731,12 @@ impl PrefixCache {
             self.nodes[child].hits += 1;
             self.touch(child);
             pinned.push(child);
+            if self.nodes[child].tier == Tier::Host {
+                // A host hit: the node must come back to GPU before the
+                // batch can use it. `apply` flips it once `make_room`
+                // has secured its charge.
+                promote.push(child);
+            }
             pos += common;
             if common < self.nodes[child].seg.len() {
                 pending_split = Some((child, common));
@@ -574,6 +749,7 @@ impl PrefixCache {
             matched: pos,
             pending_split,
             pinned,
+            promote,
         }
     }
 
@@ -592,6 +768,13 @@ impl PrefixCache {
             extra += self.cfg.charge(keep) + self.cfg.charge(len - keep) - self.cfg.charge(len);
         }
         extra += self.cfg.charge(tokens.len() - wp.matched);
+        // Promotions land on the GPU too: their charge must be free
+        // before `apply` flips them out of the host tier.
+        extra += wp
+            .promote
+            .iter()
+            .map(|&i| self.cfg.charge(self.nodes[i].seg.len()))
+            .sum::<u64>();
         self.ensure_free(extra)
     }
 
@@ -611,6 +794,19 @@ impl PrefixCache {
                 .pick(&candidates)
                 .and_then(|i| ids.get(i).copied());
             let Some(victim) = victim else {
+                // No GPU leaf is evictable. A host-resident leaf keeps
+                // its GPU parent an interior node forever, so a tree
+                // whose fringe is all host leaves has reclaimable GPU
+                // tokens but no GPU victim: drop the LRU host leaf to
+                // expose its parent and retry. Untiered caches
+                // (`host_used == 0`) never take this branch.
+                // Skip host nodes pinned mid-walk: they are promote
+                // candidates of the acquire in flight and must survive
+                // until `apply` flips them to GPU.
+                if let Some(host_victim) = self.lru_unpinned_host_node() {
+                    self.evict(host_victim);
+                    continue;
+                }
                 // Nothing evictable, or the policy refused: report what
                 // eviction *could* reclaim so callers can tell a pinned
                 // wall from a policy wall.
@@ -619,9 +815,50 @@ impl PrefixCache {
                     reclaimable: self.reclaimable_tokens(),
                 });
             };
-            self.evict(victim);
+            if self.host_budget > 0 {
+                self.demote(victim);
+            } else {
+                self.evict(victim);
+            }
         }
         Ok(())
+    }
+
+    /// The least-recently-used host-resident node not pinned by a walk
+    /// in flight (`walk_pin` pins matched host nodes until `apply`
+    /// promotes them; those are never valid victims).
+    fn lru_unpinned_host_node(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != ROOT && !n.dead && n.refs == 0 && n.tier == Tier::Host)
+            .min_by_key(|(_, n)| n.last_used)
+            .map(|(i, _)| i)
+    }
+
+    /// Moves `idx` from the GPU tier to the host tier, dropping
+    /// host-LRU entries first if the host budget requires it. A victim
+    /// larger than the whole host budget is evicted outright.
+    fn demote(&mut self, idx: usize) {
+        let charge = self.cfg.charge(self.nodes[idx].seg.len());
+        if charge > self.host_budget {
+            self.evict(idx);
+            return;
+        }
+        while self.host_budget - self.host_used < charge {
+            let Some(victim) = self.lru_unpinned_host_node() else {
+                // Every host-resident node is pinned mid-walk (promote
+                // candidates of the acquire in flight): no host room
+                // can be made, so the demotion degrades to an eviction.
+                self.evict(idx);
+                return;
+            };
+            self.evict(victim);
+        }
+        self.nodes[idx].tier = Tier::Host;
+        self.used_tokens -= charge;
+        self.host_used += charge;
+        self.demoted_tokens += charge;
     }
 
     /// The currently evictable leaves (unpinned, childless), in stable
@@ -631,7 +868,7 @@ impl PrefixCache {
         let mut ids = Vec::new();
         let mut out = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
-            if i == ROOT || n.dead || n.refs != 0 || !n.children.is_empty() {
+            if i == ROOT || n.dead || n.refs != 0 || !n.children.is_empty() || n.tier != Tier::Gpu {
                 continue;
             }
             let mut depth = 0u32;
@@ -657,6 +894,16 @@ impl PrefixCache {
     /// intermediate node) and allocates one fresh pinned leaf for the
     /// unmatched suffix. Returns the deepest node of the final path.
     fn apply(&mut self, wp: WalkPin, tokens: &[u32]) -> usize {
+        // Promote matched host nodes first: `make_room` already freed
+        // their GPU charge, and the split below must only ever operate
+        // on GPU-resident nodes.
+        for &p in &wp.promote {
+            let charge = self.cfg.charge(self.nodes[p].seg.len());
+            self.nodes[p].tier = Tier::Gpu;
+            self.host_used -= charge;
+            self.used_tokens += charge;
+            self.promoted_tokens += charge;
+        }
         let mut node = wp.node;
         if let Some((child, keep)) = wp.pending_split {
             let mid = self.split(child, keep);
@@ -692,7 +939,10 @@ impl PrefixCache {
         let first = self.nodes[idx].seg[0];
         self.nodes[parent].children.remove(&first);
         let charge = self.cfg.charge(self.nodes[idx].seg.len());
-        self.used_tokens -= charge;
+        match self.nodes[idx].tier {
+            Tier::Gpu => self.used_tokens -= charge,
+            Tier::Host => self.host_used -= charge,
+        }
         self.evicted_tokens += charge;
         let n = &mut self.nodes[idx];
         n.dead = true;
@@ -712,6 +962,7 @@ impl PrefixCache {
             last_used: self.clock,
             hits: 0,
             dead: false,
+            tier: Tier::Gpu,
         };
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = node;
@@ -727,6 +978,9 @@ impl PrefixCache {
     /// returns the intermediate node. Refs and LRU state are inherited.
     fn split(&mut self, child: usize, keep: usize) -> usize {
         debug_assert!(keep > 0 && keep < self.nodes[child].seg.len());
+        // `apply` promotes matched host nodes before splitting, so the
+        // GPU-only used-token arithmetic below is always right.
+        debug_assert_eq!(self.nodes[child].tier, Tier::Gpu);
         let parent = self.nodes[child].parent;
         let head: Vec<u32> = self.nodes[child].seg[..keep].to_vec();
         let tail: Vec<u32> = self.nodes[child].seg[keep..].to_vec();
@@ -751,6 +1005,7 @@ impl PrefixCache {
                 last_used: 0,
                 hits: 0,
                 dead: true,
+                tier: Tier::Gpu,
             });
             self.nodes.len() - 1
         };
@@ -762,6 +1017,7 @@ impl PrefixCache {
             last_used,
             hits,
             dead: false,
+            tier: Tier::Gpu,
         };
         let mid_first = self.nodes[mid].seg[0];
         self.nodes[parent].children.insert(mid_first, mid);

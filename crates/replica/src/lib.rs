@@ -44,11 +44,49 @@ pub use engine::{
 };
 pub use kvcache::{
     CloneKvEvictor, EvictCandidate, KvConfig, KvError, KvEvictor, Lease, LruEvictor, NoEvict,
-    PrefixAwareEvictor, PrefixCache,
+    PrefixAwareEvictor, PrefixCache, TieredEvictor,
 };
 pub use request::{Request, RequestId};
 pub use timing::GpuProfile;
 pub use tokenizer::{output_token, tokenize, tokenize_words};
+
+/// What serving phases a replica runs — the disaggregation axis.
+///
+/// [`ReplicaRole::Colocated`] is the classical engine: the replica that
+/// prefills a request also decodes it and owns its KV end to end. The
+/// split roles model prefill/decode disaggregation: a
+/// [`ReplicaRole::PrefillOnly`] replica runs the prompt phase and emits
+/// the first token, then the fabric ships the built KV state to a
+/// decode-capable replica at [`GpuProfile::kv_transfer_time`] cost.
+/// [`ReplicaRole::DecodeOnly`] replicas accept only those handoffs —
+/// the balancer never dispatches fresh requests to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ReplicaRole {
+    /// Prefill and decode on the same replica (the pre-role behavior).
+    #[default]
+    Colocated,
+    /// Runs the prompt phase only, handing off for decode.
+    PrefillOnly,
+    /// Accepts prefill handoffs only; invisible to fresh dispatch.
+    DecodeOnly,
+}
+
+impl ReplicaRole {
+    /// Whether this replica may run the decode phase (i.e. is a valid
+    /// handoff target for a prefill-only peer).
+    pub fn decodes(self) -> bool {
+        self != ReplicaRole::PrefillOnly
+    }
+
+    /// Short label used in scenario and digest names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicaRole::Colocated => "colo",
+            ReplicaRole::PrefillOnly => "prefill",
+            ReplicaRole::DecodeOnly => "decode",
+        }
+    }
+}
 
 /// A dense replica identifier, unique within one deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -27,6 +27,14 @@ pub struct Request {
     pub prompt: Vec<u32>,
     /// Tokens the request will generate (hidden from the balancer).
     pub target_output_tokens: u32,
+    /// Index of the first output token this request emits, in the
+    /// original request's output stream. Zero for every normal request;
+    /// the fabric's disaggregated decode leg sets it to 1 so the token
+    /// ids generated across the prefill and decode replicas union to
+    /// exactly what a colocated replica would have produced (multi-turn
+    /// workloads replay those ids as follow-up prompts, so cache
+    /// locality depends on the ids, not just the counts).
+    pub output_offset: u32,
 }
 
 impl Request {
@@ -42,6 +50,7 @@ impl Request {
             session_key: session_key.into(),
             prompt,
             target_output_tokens,
+            output_offset: 0,
         }
     }
 

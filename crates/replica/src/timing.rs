@@ -36,6 +36,11 @@ pub struct GpuProfile {
     pub kv: KvConfig,
     /// Maximum batch size the engine will schedule, irrespective of memory.
     pub max_batch_size: u32,
+    /// Marginal cost of shipping one KV token to another replica over the
+    /// datacenter interconnect, in microseconds. Only paid by
+    /// disaggregated prefill→decode handoffs; colocated serving never
+    /// reads it.
+    pub kv_transfer_us_per_token: f64,
 }
 
 impl GpuProfile {
@@ -54,6 +59,9 @@ impl GpuProfile {
         decode_per_request_us: 450.0,
         kv: KvConfig::L4_LLAMA8B,
         max_batch_size: 48,
+        // PCIe-attached NIC path: ~16 GB/s effective, ≈ 128 KiB of KV per
+        // token for an 8B model → ≈ 8 µs/token.
+        kv_transfer_us_per_token: 8.0,
     };
 
     /// A faster accelerator (≈ A100-class) for the heterogeneous-hardware
@@ -71,6 +79,8 @@ impl GpuProfile {
             block_tokens: 16,
         },
         max_batch_size: 160,
+        // NVLink/IB-attached: ~3× the L4's effective transfer bandwidth.
+        kv_transfer_us_per_token: 2.5,
     };
 
     /// Prefill time for `uncached_tokens` prompt tokens. Zero uncached
@@ -94,6 +104,14 @@ impl GpuProfile {
             self.chunk_base_us
         };
         SimDuration::from_micros(base + (self.prefill_per_token_us * tokens as f64).round() as u64)
+    }
+
+    /// Time to ship `tokens` KV tokens to a peer replica during a
+    /// disaggregated prefill→decode handoff. Linear in tokens with no
+    /// fixed base: connection setup is amortized by the fabric's network
+    /// model, this is pure payload movement.
+    pub fn kv_transfer_time(&self, tokens: u64) -> SimDuration {
+        SimDuration::from_micros((self.kv_transfer_us_per_token * tokens as f64).round() as u64)
     }
 
     /// Duration of one decode iteration over `batch_size` running
@@ -179,6 +197,19 @@ mod tests {
             + p.prefill_pass_time(128, false)
             + p.prefill_pass_time(128, false);
         assert!(chunked > whole);
+    }
+
+    #[test]
+    fn kv_transfer_linear_and_cheaper_than_prefill() {
+        let p = GpuProfile::L4_LLAMA_8B;
+        assert_eq!(p.kv_transfer_time(0), SimDuration::ZERO);
+        let t512 = p.kv_transfer_time(512);
+        assert_eq!(t512.as_micros(), 4_096);
+        // Shipping built KV must beat rebuilding it, or disaggregation
+        // could never win.
+        assert!(t512 < p.prefill_time(512));
+        let a100 = GpuProfile::A100_LLAMA_8B;
+        assert!(a100.kv_transfer_time(512) < t512);
     }
 
     #[test]

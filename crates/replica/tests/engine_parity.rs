@@ -171,6 +171,7 @@ fn profile(capacity: u64, max_batch: u32) -> GpuProfile {
         decode_per_request_us: 100.0,
         kv: KvConfig::tiny(capacity),
         max_batch_size: max_batch,
+        kv_transfer_us_per_token: 1.0,
     }
 }
 

@@ -51,6 +51,9 @@ pub enum Phase {
     Decode,
     /// Preempted out of the running batch, awaiting re-admission.
     PreemptWait,
+    /// Built KV state in flight from a prefill replica to its decode
+    /// replica (disaggregated handoff).
+    KvTransfer,
     /// Finished response in flight back to the client.
     DeliveryNet,
     /// First output token in flight back to the client. Only appears in
@@ -61,7 +64,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::ClientNet,
         Phase::RetryBackoff,
         Phase::LbQueue,
@@ -72,6 +75,7 @@ impl Phase {
         Phase::Prefill,
         Phase::Decode,
         Phase::PreemptWait,
+        Phase::KvTransfer,
         Phase::DeliveryNet,
         Phase::FirstTokenNet,
     ];
@@ -92,6 +96,7 @@ impl Phase {
             Phase::Prefill => "prefill",
             Phase::Decode => "decode",
             Phase::PreemptWait => "preempt-wait",
+            Phase::KvTransfer => "kv-transfer",
             Phase::DeliveryNet => "delivery-net",
             Phase::FirstTokenNet => "first-token-net",
         }
@@ -246,6 +251,7 @@ fn outgoing_phase(kind: &TraceEventKind) -> Option<Phase> {
         Admitted { .. } => Some(Phase::Prefill),
         FirstToken { .. } => Some(Phase::Decode),
         Preempted { .. } => Some(Phase::PreemptWait),
+        KvTransfer { .. } => Some(Phase::KvTransfer),
         ReplicaDone { .. } => Some(Phase::DeliveryNet),
         Delivered { .. } | Failed { .. } => None,
         FirstTokenDelivered { .. } | ReplicaStall { .. } | Evicted { .. } => None,
@@ -575,6 +581,60 @@ mod tests {
         let t = r.ttft.as_ref().expect("delivered");
         assert_eq!(t.ttft, SimDuration::from_micros(1200));
         assert_eq!(t.phases.total(), t.ttft);
+    }
+
+    /// A disaggregated handoff: prefill replica emits the first token
+    /// and finishes its leg, the KV ships to a decode replica, the
+    /// decode leg runs there. The transfer interval lands in
+    /// `Phase::KvTransfer` and conservation still holds exactly.
+    #[test]
+    fn disagg_handoff_charges_kv_transfer() {
+        let a = Attribution::from_summary(&summary(vec![
+            (0, Issued { req: 1 }),
+            (
+                10,
+                Dispatched {
+                    req: 1,
+                    lb: 0,
+                    replica: 0,
+                },
+            ),
+            (20, ReplicaQueued { req: 1, replica: 0 }),
+            (30, Admitted { req: 1, replica: 0 }),
+            (130, FirstToken { req: 1, replica: 0 }),
+            (140, FirstTokenDelivered { req: 1 }),
+            (130, ReplicaDone { req: 1, replica: 0 }),
+            (
+                130,
+                KvTransfer {
+                    req: 1,
+                    from: 0,
+                    to: 1,
+                    tokens: 513,
+                },
+            ),
+            (330, ReplicaQueued { req: 1, replica: 1 }),
+            (340, Admitted { req: 1, replica: 1 }),
+            (360, FirstToken { req: 1, replica: 1 }),
+            (760, ReplicaDone { req: 1, replica: 1 }),
+            (775, Delivered { req: 1 }),
+        ]));
+        let r = &a.requests[0];
+        assert_eq!(r.outcome, TraceOutcome::Completed);
+        assert_eq!(r.phases.total(), r.e2e);
+        assert_eq!(
+            r.phases.get(Phase::KvTransfer),
+            SimDuration::from_micros(200)
+        );
+        // Decode: leg 2's FirstToken→ReplicaDone (leg 1's decode span
+        // is zero — prefill-only legs finish at their first token).
+        assert_eq!(r.phases.get(Phase::Decode), SimDuration::from_micros(400));
+        // The TTFT view never sees the transfer: it is clipped at the
+        // prefill replica's first-token production.
+        let t = r.ttft.as_ref().expect("delivered");
+        assert_eq!(t.ttft, SimDuration::from_micros(140));
+        assert_eq!(t.phases.total(), t.ttft);
+        assert_eq!(t.phases.get(Phase::KvTransfer), SimDuration::ZERO);
     }
 
     #[test]

@@ -97,6 +97,22 @@ pub enum TraceEventKind {
         /// Replica index.
         replica: u32,
     },
+    /// A disaggregated handoff started: the prefill replica finished
+    /// the prompt phase and began shipping the request's KV state to a
+    /// decode replica. The next
+    /// [`ReplicaQueued`](TraceEventKind::ReplicaQueued) on this request
+    /// marks the transfer landing, so the interval between them is the
+    /// modeled KV-transfer time.
+    KvTransfer {
+        /// Request id.
+        req: u64,
+        /// Prefill (sending) replica index.
+        from: u32,
+        /// Decode (receiving) replica index.
+        to: u32,
+        /// KV tokens shipped (prompt + first token).
+        tokens: u64,
+    },
     /// The first output token reached the client (the TTFT instant).
     /// This leg runs in parallel with decoding, so it is *not* part of
     /// the end-to-end main chain.
@@ -149,6 +165,7 @@ impl TraceEventKind {
             | Preempted { req, .. }
             | FirstToken { req, .. }
             | ReplicaDone { req, .. }
+            | KvTransfer { req, .. }
             | FirstTokenDelivered { req }
             | Delivered { req }
             | Failed { req } => Some(req),

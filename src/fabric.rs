@@ -26,8 +26,8 @@ use skywalker_fleet::{
 use skywalker_metrics::{peak_gap, RequestTracker, RunReport, TimeSeries};
 use skywalker_net::{DnsResolver, Endpoint, LatencyModel, Region};
 use skywalker_replica::{
-    BatchPolicy, Completion, EngineSpec, GpuProfile, KvEvictor, Replica, ReplicaId, ReplicaStats,
-    Request, RequestId,
+    output_token, BatchPolicy, Completion, EngineSpec, GpuProfile, KvEvictor, Replica, ReplicaId,
+    ReplicaRole, ReplicaStats, Request, RequestId,
 };
 use skywalker_sim::{DetRng, Engine, Scheduler, SimDuration, SimTime, World};
 use skywalker_telemetry::{MetricsRegistry, RingSeries, TelemetryConfig, TelemetrySummary};
@@ -220,6 +220,14 @@ pub struct Scenario {
     pub policy_factory: Option<Arc<dyn PolicyFactory>>,
     /// The replica fleet.
     pub replicas: Vec<ReplicaPlacement>,
+    /// Serving role per replica, indexed like `replicas`. Shorter
+    /// vectors are padded with [`ReplicaRole::Colocated`], so an empty
+    /// vector (the default) is the classical colocated fleet.
+    /// [`ReplicaRole::PrefillOnly`] replicas hand every request off to
+    /// a decode-capable peer after the prompt phase;
+    /// [`ReplicaRole::DecodeOnly`] replicas are invisible to the
+    /// balancers and accept only those handoffs.
+    pub roles: Vec<ReplicaRole>,
     /// The client traffic. Each run clones the source, so the same
     /// scenario can be replayed any number of times; pre-materialized
     /// populations ride along as a [`ClientListSource`].
@@ -298,6 +306,10 @@ pub enum ScenarioError {
     /// No traffic was configured, or the provided source was already
     /// exhausted — there is nothing to run.
     NoTraffic,
+    /// The role assignment puts a prefill-only replica in a region with
+    /// no decode-capable replica (colocated or decode-only): every
+    /// handoff from that region would have nowhere to land.
+    NoDecodeCapacity,
 }
 
 impl fmt::Display for ScenarioError {
@@ -310,6 +322,12 @@ impl fmt::Display for ScenarioError {
                 f,
                 "scenario has no traffic: set ScenarioBuilder::clients, ::workload, \
                  or ::traffic_source with a non-exhausted source"
+            ),
+            ScenarioError::NoDecodeCapacity => write!(
+                f,
+                "scenario has a region with prefill-only replicas and no decode-capable \
+                 replica: add a Colocated or DecodeOnly peer there, or adjust \
+                 ScenarioBuilder::roles"
             ),
         }
     }
@@ -350,6 +368,7 @@ pub struct ScenarioBuilder {
     deployment: Option<Deployment>,
     policy_factory: Option<Arc<dyn PolicyFactory>>,
     replicas: Vec<ReplicaPlacement>,
+    roles: Vec<ReplicaRole>,
     traffic: Option<Box<dyn TrafficSource>>,
     faults: Vec<FaultEvent>,
     fleet_plan: Option<Box<dyn FleetPlan>>,
@@ -396,6 +415,16 @@ impl ScenarioBuilder {
     /// Sets the replica fleet.
     pub fn replicas(mut self, replicas: Vec<ReplicaPlacement>) -> Self {
         self.replicas = replicas;
+        self
+    }
+
+    /// Assigns serving roles to the fleet, indexed like
+    /// [`ScenarioBuilder::replicas`]; missing entries default to
+    /// [`ReplicaRole::Colocated`]. [`ScenarioBuilder::build`] rejects
+    /// assignments that leave a region's prefill-only replicas with no
+    /// decode-capable target ([`ScenarioError::NoDecodeCapacity`]).
+    pub fn roles(mut self, roles: Vec<ReplicaRole>) -> Self {
+        self.roles = roles;
         self
     }
 
@@ -493,6 +522,20 @@ impl ScenarioBuilder {
         if traffic.is_exhausted() {
             return Err(ScenarioError::NoTraffic);
         }
+        let role_of = |roles: &[ReplicaRole], i: usize| roles.get(i).copied().unwrap_or_default();
+        for (i, p) in self.replicas.iter().enumerate() {
+            if role_of(&self.roles, i) != ReplicaRole::PrefillOnly {
+                continue;
+            }
+            let has_decode = self
+                .replicas
+                .iter()
+                .enumerate()
+                .any(|(j, q)| q.region == p.region && role_of(&self.roles, j).decodes());
+            if !has_decode {
+                return Err(ScenarioError::NoDecodeCapacity);
+            }
+        }
         let mut deployment = self
             .deployment
             .or_else(|| self.system.map(|s| s.deployment()))
@@ -513,6 +556,7 @@ impl ScenarioBuilder {
             deployment,
             policy_factory: self.policy_factory,
             replicas: self.replicas,
+            roles: self.roles,
             traffic,
             faults: self.faults,
             fleet_plan: self.fleet_plan,
@@ -631,6 +675,15 @@ pub struct RunSummary {
     pub preempted: u64,
     /// Block-rounded KV tokens reclaimed by cache eviction, fleet-wide.
     pub evicted_tokens: u64,
+    /// Block-rounded KV tokens demoted GPU→host by tiered caches,
+    /// fleet-wide (zero without a [`TieredEvictor`](crate::TieredEvictor)).
+    pub demoted_tokens: u64,
+    /// Block-rounded KV tokens promoted host→GPU on cache hits,
+    /// fleet-wide (zero without a [`TieredEvictor`](crate::TieredEvictor)).
+    pub promoted_tokens: u64,
+    /// Disaggregated prefill→decode KV handoffs (zero without
+    /// [`ReplicaRole::PrefillOnly`] replicas).
+    pub transfers: TransferSummary,
     /// Iterations with chunked prefill active, fleet-wide.
     pub chunked_steps: u64,
     /// Requests forwarded across regions.
@@ -674,6 +727,41 @@ impl RunSummary {
         } else {
             0.0
         }
+    }
+}
+
+/// What the disaggregated KV-transfer plane did over one run: handoff
+/// counts and token volumes across the prefill→decode boundary. A run
+/// without prefill-only replicas shows all zeros. Conservation law:
+/// `started == landed + aborted + in_transfer()` at every instant, and
+/// a drained run ends with `in_transfer() == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferSummary {
+    /// Handoffs shipped by prefill replicas.
+    pub started: u64,
+    /// Handoffs that landed at a decode replica.
+    pub landed: u64,
+    /// Handoffs abandoned because every decode target died in flight
+    /// (the request was rerouted or failed, never stranded).
+    pub aborted: u64,
+    /// KV tokens shipped (prompt + first token, per handoff).
+    pub tokens_sent: u64,
+    /// KV tokens that landed.
+    pub tokens_landed: u64,
+    /// KV tokens abandoned in flight.
+    pub tokens_aborted: u64,
+}
+
+impl TransferSummary {
+    /// Handoffs still on the wire when the run ended (shipped, neither
+    /// landed nor aborted) — nonzero only for deadline-truncated runs.
+    pub fn in_transfer(&self) -> u64 {
+        self.started - self.landed - self.aborted
+    }
+
+    /// KV tokens still on the wire when the run ended.
+    pub fn tokens_in_transfer(&self) -> u64 {
+        self.tokens_sent - self.tokens_landed - self.tokens_aborted
     }
 }
 
@@ -765,6 +853,14 @@ enum Ev {
         first_tokens: Vec<RequestId>,
         completions: Vec<Completion>,
     },
+    /// A disaggregated KV handoff lands at its decode replica: the
+    /// modeled interconnect delay has elapsed since the prefill side
+    /// shipped it. `req` is the decode leg (prompt + first token,
+    /// remaining output budget, `output_offset = 1`).
+    KvTransfer {
+        to: u32,
+        req: Request,
+    },
     DeliverFirstToken {
         req: RequestId,
     },
@@ -801,6 +897,30 @@ struct ClientState {
     stage_idx: usize,
     inflight: u32,
     finished: bool,
+}
+
+/// Which leg of a disaggregated request is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DisaggStage {
+    /// Running the prompt phase on a prefill-only replica.
+    Prefill,
+    /// Shipped (or shipping) to a decode replica.
+    Decode,
+}
+
+/// Fabric-side bookkeeping for one disaggregated request, alive from
+/// the prefill-replica intercept until the decode leg's completion is
+/// delivered (or the request terminally fails).
+#[derive(Debug, Clone)]
+struct DisaggMeta {
+    /// The request exactly as the client issued it; failure paths
+    /// restore it so retries re-enter the pipeline unmodified.
+    orig: Request,
+    /// Current leg.
+    stage: DisaggStage,
+    /// Prompt tokens the prefill leg served from its prefix cache —
+    /// the cache credit the client's completion reports.
+    cached_at_prefill: u32,
 }
 
 /// Lifecycle of a deployed replica, as the fabric tracks it.
@@ -875,6 +995,14 @@ struct Fabric {
     replicas: Vec<Replica>,
     replica_region: Vec<Region>,
     replica_stepping: Vec<bool>,
+    /// Serving role per replica (indexed like `replicas`; mid-run joins
+    /// are always [`ReplicaRole::Colocated`]).
+    replica_role: Vec<ReplicaRole>,
+    /// In-flight disaggregated requests by id (deterministic map: the
+    /// lint budget treats `BTreeMap` iteration as ordered).
+    disagg: BTreeMap<u64, DisaggMeta>,
+    /// KV-handoff accounting across the prefill→decode boundary.
+    transfers: TransferSummary,
     clients: Vec<ClientState>,
     dns: DnsResolver,
     controller: Controller,
@@ -1010,6 +1138,17 @@ impl Fabric {
         reg.set_gauge("skywalker_kv_utilization_mean", &[], kv_mean);
         reg.set_gauge("skywalker_replica_hit_ratio", &[], hit);
         reg.counter_at_least("skywalker_replica_completed_total", &[], completed);
+
+        // Disaggregation plane: cumulative handoff counts and volume
+        // (flat zeros — and no extra series — on colocated fleets).
+        if self.transfers.started > 0 {
+            reg.counter_at_least("skywalker_kv_transfers_total", &[], self.transfers.started);
+            reg.counter_at_least(
+                "skywalker_kv_transfer_tokens_total",
+                &[],
+                self.transfers.tokens_sent,
+            );
+        }
 
         let ttft_p90 = reg
             .sketch("skywalker_ttft_seconds", &[])
@@ -1288,8 +1427,117 @@ impl Fabric {
             })
     }
 
+    /// Strips disagg bookkeeping off a failing or retrying request,
+    /// returning the original client request so it re-enters the
+    /// pipeline unmodified. A request with no disagg meta passes
+    /// through untouched.
+    fn restore_original(&mut self, req: Request) -> Request {
+        match self.disagg.remove(&req.id.0) {
+            Some(meta) => meta.orig,
+            None => req,
+        }
+    }
+
+    /// The decode replica a prefill handoff ships to: Active,
+    /// decode-capable, preferring the prefill's own region, ranked by
+    /// tier-weighted prefix residency (GPU-resident matches count
+    /// double vs host-demoted ones — promoting costs a transfer), then
+    /// the shortest queue, then the lowest id. Falls back to any region
+    /// when the home region lost its decode capacity mid-run; `None`
+    /// only when the whole fleet did.
+    fn pick_decode_target(&self, region: Region, prompt: &[u32]) -> Option<usize> {
+        let candidate = |i: usize| {
+            self.replica_health[i] == ReplicaHealth::Active && self.replica_role[i].decodes()
+        };
+        let score = |i: usize| {
+            let (gpu, host) = self.replicas[i].cache().matched_tokens_tiered(prompt);
+            let load = self.replicas[i].pending_len() + self.replicas[i].running_len();
+            (std::cmp::Reverse(gpu * 2 + host), load, i)
+        };
+        (0..self.replicas.len())
+            .filter(|&i| candidate(i) && self.replica_region[i] == region)
+            .min_by_key(|&i| score(i))
+            .or_else(|| {
+                (0..self.replicas.len())
+                    .filter(|&i| candidate(i))
+                    .min_by_key(|&i| score(i))
+            })
+    }
+
+    /// Starts the prefill→decode handoff for a prefill-leg completion
+    /// on `from`: builds the decode leg, picks its target, emits the
+    /// [`TraceEventKind::KvTransfer`] span, and schedules the landing
+    /// after the modeled interconnect delay.
+    fn start_handoff(
+        &mut self,
+        from: u32,
+        c: &Completion,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let id = c.id.0;
+        let orig = {
+            let meta = self
+                .disagg
+                .get_mut(&id)
+                .expect("prefill stage implies meta");
+            meta.stage = DisaggStage::Decode;
+            meta.cached_at_prefill = c.cached_prompt_tokens;
+            meta.orig.clone()
+        };
+        // The decode leg replays the prompt plus the first token the
+        // prefill replica produced — exactly the KV state the transfer
+        // ships — and `output_offset = 1` keeps its generated token
+        // ids identical to the colocated stream.
+        let mut prompt = orig.prompt.clone();
+        prompt.push(output_token(id, 0));
+        let leg2 = Request {
+            id: orig.id,
+            session_key: orig.session_key.clone(),
+            prompt,
+            target_output_tokens: orig.target_output_tokens - 1,
+            output_offset: 1,
+        };
+        let tokens = leg2.prompt.len() as u64;
+        let region = self.replica_region[from as usize];
+        match self.pick_decode_target(region, &leg2.prompt) {
+            Some(to) => {
+                self.trace(
+                    now,
+                    TraceEventKind::KvTransfer {
+                        req: id,
+                        from,
+                        to: to as u32,
+                        tokens,
+                    },
+                );
+                self.transfers.started += 1;
+                self.transfers.tokens_sent += tokens;
+                let delay = self.replicas[from as usize]
+                    .profile()
+                    .kv_transfer_time(tokens);
+                sched.after(
+                    delay,
+                    Ev::KvTransfer {
+                        to: to as u32,
+                        req: leg2,
+                    },
+                );
+            }
+            None => {
+                // Every decode target died since build-time validation:
+                // treat the request like a crash casualty.
+                let orig = self.restore_original(leg2);
+                self.fail_or_reroute(orig, now, sched);
+            }
+        }
+    }
+
     /// Gives a crash casualty its one reroute, or counts it failed.
     fn fail_or_reroute(&mut self, req: Request, now: SimTime, sched: &mut Scheduler<Ev>) {
+        // A disagg leg retries (and is accounted) as the original
+        // client request.
+        let req = self.restore_original(req);
         let id = req.id.0;
         let client = self.req_client.get(&id).copied();
         if let Some(client) = client {
@@ -1338,6 +1586,10 @@ impl Fabric {
                 ));
                 self.replica_region.push(region);
                 self.replica_stepping.push(false);
+                // Joins are always colocated: the fleet plan vocabulary
+                // has no role axis (yet), and a colocated joiner is a
+                // valid decode target either way.
+                self.replica_role.push(ReplicaRole::Colocated);
                 self.replica_health.push(ReplicaHealth::Active);
                 self.kv_series
                     .push(TimeSeries::new(format!("replica-{}/kv", rid.0)));
@@ -1508,6 +1760,27 @@ impl World for Fabric {
                     }
                     ReplicaHealth::Active | ReplicaHealth::Draining => {}
                 }
+                // A prefill-only replica runs the prompt phase and the
+                // first token, then hands off: intercept fresh requests
+                // into a one-token prefill leg. Single-token requests
+                // finish at the first token anyway, so they run whole.
+                let req = if self.replica_role[i] == ReplicaRole::PrefillOnly
+                    && req.target_output_tokens > 1
+                {
+                    let mut leg1 = req.clone();
+                    leg1.target_output_tokens = 1;
+                    self.disagg.insert(
+                        req.id.0,
+                        DisaggMeta {
+                            orig: req,
+                            stage: DisaggStage::Prefill,
+                            cached_at_prefill: 0,
+                        },
+                    );
+                    leg1
+                } else {
+                    req
+                };
                 self.trace(
                     now,
                     TraceEventKind::ReplicaQueued {
@@ -1580,6 +1853,7 @@ impl World for Fabric {
                     let Some(dropped) = self.replicas[i].pop_pending_head() else {
                         return;
                     };
+                    let dropped = self.restore_original(dropped);
                     self.trace(now, TraceEventKind::Failed { req: dropped.id.0 });
                     self.tracker.failure(dropped.id.0);
                     if let Some(&lb) = self.req_lb.get(&dropped.id.0) {
@@ -1605,6 +1879,17 @@ impl World for Fabric {
                 let r_region = self.replica_region[i];
                 for id in first_tokens {
                     self.trace(now, TraceEventKind::FirstToken { req: id.0, replica });
+                    // The decode leg of a disaggregated request re-emits
+                    // a first token when its (cache-warm) prefill pass
+                    // finishes; the client already got theirs from the
+                    // prefill replica.
+                    if self
+                        .disagg
+                        .get(&id.0)
+                        .is_some_and(|m| m.stage == DisaggStage::Decode)
+                    {
+                        continue;
+                    }
                     if let Some(&client) = self.req_client.get(&id.0) {
                         let delay = self.cfg.net.sample_one_way(
                             r_region,
@@ -1622,23 +1907,46 @@ impl World for Fabric {
                             replica,
                         },
                     );
-                    if let Some(&lb) = self.req_lb.get(&c.id.0) {
-                        self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
-                        sched.at(now, Ev::LbDispatch { lb });
+                    let stage = self.disagg.get(&c.id.0).map(|m| m.stage);
+                    if stage == Some(DisaggStage::Prefill) {
+                        // Prefill leg done: credit the dispatching
+                        // balancer (the decode leg is invisible to it)
+                        // and ship the KV state instead of delivering.
+                        if let Some(&lb) = self.req_lb.get(&c.id.0) {
+                            self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
+                            sched.at(now, Ev::LbDispatch { lb });
+                        }
+                        self.req_lb.remove(&c.id.0);
+                        self.start_handoff(replica, &c, now, sched);
+                        continue;
                     }
-                    if let Some(&client) = self.req_client.get(&c.id.0) {
+                    let completion = if stage == Some(DisaggStage::Decode) {
+                        // Decode leg done: rewrite the completion to the
+                        // client's view — the original prompt length,
+                        // the prefill leg's cache credit, both legs'
+                        // generated tokens. (No balancer owns this leg;
+                        // `req_lb` was dropped at the handoff.)
+                        let meta = self.disagg.remove(&c.id.0).expect("stage implies meta");
+                        Completion {
+                            id: c.id,
+                            prompt_tokens: meta.orig.prompt_len(),
+                            cached_prompt_tokens: meta.cached_at_prefill,
+                            generated_tokens: c.generated_tokens + 1,
+                        }
+                    } else {
+                        if let Some(&lb) = self.req_lb.get(&c.id.0) {
+                            self.lbs[lb as usize].on_replica_complete(ReplicaId(replica));
+                            sched.at(now, Ev::LbDispatch { lb });
+                        }
+                        c
+                    };
+                    if let Some(&client) = self.req_client.get(&completion.id.0) {
                         let delay = self.cfg.net.sample_one_way(
                             r_region,
                             self.clients[client].spec.region,
                             &mut self.rng,
                         );
-                        sched.after(
-                            delay,
-                            Ev::DeliverCompletion {
-                                client,
-                                completion: c,
-                            },
-                        );
+                        sched.after(delay, Ev::DeliverCompletion { client, completion });
                     }
                 }
                 if !crashed {
@@ -1649,6 +1957,44 @@ impl World for Fabric {
                     }
                     sched.at(now, Ev::ReplicaKick { replica });
                 }
+            }
+            Ev::KvTransfer { to, req } => {
+                let tokens = req.prompt.len() as u64;
+                let target = match self.replica_health[to as usize] {
+                    // A retired/draining target raced the transfer in
+                    // flight; it still owes this landing service (the
+                    // receive path below un-retires it).
+                    ReplicaHealth::Active | ReplicaHealth::Draining | ReplicaHealth::Retired => {
+                        Some(to as usize)
+                    }
+                    // The decode side died with the KV on the wire:
+                    // re-ship to a survivor (the extra hop is not
+                    // re-billed — the prefill side streams to the new
+                    // target in the same window).
+                    ReplicaHealth::Crashed => {
+                        self.pick_decode_target(self.replica_region[to as usize], &req.prompt)
+                    }
+                };
+                let Some(to) = target else {
+                    self.transfers.aborted += 1;
+                    self.transfers.tokens_aborted += tokens;
+                    self.fail_or_reroute(req, now, sched);
+                    return;
+                };
+                self.transfers.landed += 1;
+                self.transfers.tokens_landed += tokens;
+                // The shipped KV state materializes in the decode
+                // replica's prefix cache, so admission skips the
+                // re-prefill; a failed prewarm (cache too small) just
+                // means the decode replica recomputes.
+                self.replicas[to].prewarm(&req.prompt);
+                sched.at(
+                    now,
+                    Ev::ReplicaReceive {
+                        replica: to as u32,
+                        req,
+                    },
+                );
             }
             Ev::DeliverFirstToken { req } => {
                 self.trace(now, TraceEventKind::FirstTokenDelivered { req: req.0 });
@@ -1955,9 +2301,14 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     let engine = scenario.engine.clone().unwrap_or_default();
 
     // Replicas attach to the balancer of their region (or the single
-    // centralized balancer).
+    // centralized balancer). Decode-only replicas are never advertised
+    // to any balancer or the controller: the only path to them is a
+    // prefill handoff.
     let mut replicas: Vec<Replica> = Vec::new();
     let mut replica_region: Vec<Region> = Vec::new();
+    let replica_role: Vec<ReplicaRole> = (0..scenario.replicas.len())
+        .map(|i| scenario.roles.get(i).copied().unwrap_or_default())
+        .collect();
     for (i, p) in scenario.replicas.iter().enumerate() {
         let rid = ReplicaId(i as u32);
         replicas.push(Replica::with_engine(
@@ -1967,6 +2318,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
             engine.evictor.clone(),
         ));
         replica_region.push(p.region);
+        if replica_role[i] == ReplicaRole::DecodeOnly {
+            continue;
+        }
         let home = match deployment {
             Deployment::Centralized { .. } => 0usize,
             Deployment::PerRegion { .. } => lb_regions
@@ -2017,6 +2371,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         replicas,
         replica_region,
         replica_stepping: vec![false; n_replicas],
+        replica_role,
+        disagg: BTreeMap::new(),
+        transfers: TransferSummary::default(),
         clients: initial
             .into_iter()
             .map(|ev| ClientState {
@@ -2152,6 +2509,8 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
     let preempted: u64 = replica_stats.iter().map(|s| s.preempted).sum();
     let evicted_tokens: u64 = replica_stats.iter().map(|s| s.evicted_tokens).sum();
     let chunked_steps: u64 = replica_stats.iter().map(|s| s.chunked_steps).sum();
+    let demoted_tokens: u64 = replica_stats.iter().map(|s| s.demoted_tokens).sum();
+    let promoted_tokens: u64 = replica_stats.iter().map(|s| s.promoted_tokens).sum();
 
     RunSummary {
         label: scenario.label.clone(),
@@ -2167,6 +2526,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &FabricConfig) -> RunSummary {
         preempted,
         evicted_tokens,
         chunked_steps,
+        demoted_tokens,
+        promoted_tokens,
+        transfers: world.transfers,
         replica_stats,
         forwarded,
         dispatch_imbalance,

@@ -135,15 +135,15 @@ pub mod sources;
 pub use autoscale::{PredictiveAutoscaler, PredictiveConfig};
 pub use fabric::{
     run_scenario, Deployment, FabricConfig, FaultEvent, FleetSummary, ReplicaPlacement, RunSummary,
-    Scenario, ScenarioBuilder, ScenarioError, SystemKind,
+    Scenario, ScenarioBuilder, ScenarioError, SystemKind, TransferSummary,
 };
 pub use p2c::{P2cLocal, P2cLocalFactory};
 pub use scenarios::{
-    balanced_fleet, diurnal_recipe, diurnal_reference_predictive, diurnal_reference_reactive,
-    equal_cost_lite_fleet, fig10_diurnal_scenario, fig10_scenario, fig8_recipe, fig8_scenario,
-    fig9_scenario, l4_fleet, lite_fleet, memory_pressure_recipe, memory_pressure_scenario,
-    trio_diurnal_profiles, unbalanced_fleet, workload_clients, Workload, L4_LITE, L4_PRESSURE,
-    REGIONS,
+    balanced_fleet, disagg_engine, disagg_recipe, disagg_scenario, diurnal_recipe,
+    diurnal_reference_predictive, diurnal_reference_reactive, equal_cost_lite_fleet,
+    fig10_diurnal_scenario, fig10_scenario, fig8_recipe, fig8_scenario, fig9_scenario, l4_fleet,
+    lite_fleet, memory_pressure_recipe, memory_pressure_scenario, trio_diurnal_profiles,
+    unbalanced_fleet, workload_clients, DisaggWorkload, Workload, L4_LITE, L4_PRESSURE, REGIONS,
 };
 pub use sjf::ShortestPromptFirst;
 pub use skywalker_fleet::{
@@ -152,7 +152,7 @@ pub use skywalker_fleet::{
 };
 pub use skywalker_replica::{
     BatchPlan, BatchPolicy, EngineSpec, EvictCandidate, FcfsBatch, KvEvictor, LruEvictor, NoEvict,
-    PendingView, PrefixAwareEvictor, RunningView, StepView,
+    PendingView, PrefixAwareEvictor, ReplicaRole, RunningView, StepView, TieredEvictor,
 };
 pub use skywalker_telemetry::{
     markdown_table, prometheus_text, MetricsRegistry, MetricsSnapshot, QuantileSketch, RingSeries,

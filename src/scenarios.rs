@@ -15,7 +15,7 @@
 //!   heterogeneous-program stressor.
 
 use skywalker_net::Region;
-use skywalker_replica::{EngineSpec, GpuProfile, KvConfig};
+use skywalker_replica::{EngineSpec, GpuProfile, KvConfig, LruEvictor, ReplicaRole, TieredEvictor};
 use skywalker_sim::SimDuration;
 use skywalker_workload::{
     drain, fig3_regions, generate_conversation_clients, generate_tot_clients, ClientSpec,
@@ -262,6 +262,7 @@ pub const L4_LITE: GpuProfile = GpuProfile {
         block_tokens: 16,
     },
     max_batch_size: 6,
+    kv_transfer_us_per_token: 8.0,
 };
 
 /// An [`L4_LITE`] fleet with the given per-region replica counts.
@@ -344,6 +345,7 @@ pub const L4_PRESSURE: GpuProfile = GpuProfile {
         block_tokens: 16,
     },
     max_batch_size: 16,
+    kv_transfer_us_per_token: 8.0,
 };
 
 /// The memory-pressure preset: a single-region, two-replica
@@ -412,6 +414,148 @@ pub fn memory_pressure_recipe(
             ..FabricConfig::default()
         };
         (memory_pressure_scenario(engine.clone(), scale, seed), cfg)
+    }
+}
+
+/// The two traffic shapes of the disaggregation shootout: where the
+/// prefill/decode split pays for its transfer cost, and where it
+/// doesn't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisaggWorkload {
+    /// Long shared-corpus prompts, short answers: prefill dominates.
+    PrefillHeavy,
+    /// Short prompts, long generations: decode dominates, and running
+    /// decodes hold KV for a long time.
+    DecodeHeavy,
+}
+
+impl DisaggWorkload {
+    /// Both shapes, prefill-heavy first.
+    pub const ALL: [DisaggWorkload; 2] =
+        [DisaggWorkload::PrefillHeavy, DisaggWorkload::DecodeHeavy];
+
+    /// Short label used in scenario and digest names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisaggWorkload::PrefillHeavy => "prefill-heavy",
+            DisaggWorkload::DecodeHeavy => "decode-heavy",
+        }
+    }
+
+    fn corpus(&self) -> RagCorpusConfig {
+        match self {
+            DisaggWorkload::PrefillHeavy => RagCorpusConfig {
+                corpus_docs: 12,
+                doc_tokens: 384,
+                doc_zipf: 1.1,
+                query_tokens: LengthModel {
+                    mu: 3.5,
+                    sigma: 0.6,
+                    min: 8,
+                    max: 96,
+                },
+                answer_tokens: LengthModel {
+                    mu: 2.8,
+                    sigma: 0.4,
+                    min: 4,
+                    max: 32,
+                },
+                queries_per_user: (3, 8),
+            },
+            DisaggWorkload::DecodeHeavy => RagCorpusConfig {
+                corpus_docs: 8,
+                doc_tokens: 96,
+                doc_zipf: 1.1,
+                query_tokens: LengthModel {
+                    mu: 3.0,
+                    sigma: 0.6,
+                    min: 4,
+                    max: 48,
+                },
+                answer_tokens: LengthModel {
+                    mu: 5.3,
+                    sigma: 0.4,
+                    min: 128,
+                    max: 400,
+                },
+                queries_per_user: (2, 5),
+            },
+        }
+    }
+}
+
+/// The serving engine of the disaggregation preset: LRU eviction behind
+/// a two-tier wrapper that demotes GPU victims into a host pool twice
+/// the GPU cache's size instead of dropping them. Decode replicas keep
+/// handoff prefixes warm this way, and the tier-residency columns of
+/// the bench rows come alive.
+pub fn disagg_engine() -> EngineSpec {
+    EngineSpec {
+        evictor: Box::new(TieredEvictor::new(
+            Box::new(LruEvictor),
+            2 * L4_LITE.kv.capacity_tokens,
+        )),
+        ..EngineSpec::default()
+    }
+}
+
+/// The disaggregation preset: a single-region, four-replica
+/// [`L4_LITE`] fleet serving RAG traffic, either classically colocated
+/// (`disagg = false`) or split into two prefill-only plus two
+/// decode-only replicas (`disagg = true`). Both variants run the
+/// [`disagg_engine`] two-tier cache, so the comparison isolates the
+/// role split. Sweep both [`DisaggWorkload`] shapes and the P90 TTFT
+/// verdict crosses over (`examples/disagg_shootout.rs`,
+/// `BENCH_disagg.json`): the split pays when running decodes would
+/// otherwise starve prefill admission, and loses when halving prefill
+/// capacity just doubles the prompt queue.
+pub fn disagg_scenario(workload: DisaggWorkload, disagg: bool, scale: f64, seed: u64) -> Scenario {
+    let region = REGIONS[0];
+    let users = ((32.0 * scale).round() as u32).max(2);
+    let roles = if disagg {
+        vec![
+            ReplicaRole::PrefillOnly,
+            ReplicaRole::PrefillOnly,
+            ReplicaRole::DecodeOnly,
+            ReplicaRole::DecodeOnly,
+        ]
+    } else {
+        Vec::new()
+    };
+    let label = format!(
+        "disagg/{}/{}",
+        workload.label(),
+        if disagg { "split" } else { "colo" }
+    );
+    SystemKind::SkyWalker
+        .builder()
+        .replicas(lite_fleet(&[(region, 4)]))
+        .roles(roles)
+        .traffic_source(Box::new(RagCorpusSource::new(
+            workload.corpus(),
+            vec![(region, users)],
+            seed,
+        )))
+        .engine(disagg_engine())
+        .label(label)
+        .build()
+        .expect("disagg preset sets a fleet and traffic")
+}
+
+/// A seed-parametric recipe of the disaggregation preset — the
+/// sweep-harness counterpart of [`memory_pressure_recipe`] for the
+/// split-vs-colocated comparison.
+pub fn disagg_recipe(
+    workload: DisaggWorkload,
+    disagg: bool,
+    scale: f64,
+) -> impl Fn(u64) -> (Scenario, FabricConfig) + Clone + Send + Sync + 'static {
+    move |seed| {
+        let cfg = FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        };
+        (disagg_scenario(workload, disagg, scale, seed), cfg)
     }
 }
 

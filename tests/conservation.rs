@@ -18,10 +18,11 @@
 
 use skywalker::sim::{SimDuration, SimTime};
 use skywalker::{
-    balanced_fleet, lite_fleet, memory_pressure_scenario, run_scenario, workload_clients,
-    AutoscalerConfig, BatchPlan, BatchPolicy, ChaosConfig, ChaosPlan, EngineSpec, FabricConfig,
-    FcfsBatch, FlashCrowdSource, LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary, Scenario,
-    ShortestPromptFirst, StepView, SystemKind, ThresholdAutoscaler, Workload, L4_LITE, REGIONS,
+    balanced_fleet, disagg_scenario, lite_fleet, memory_pressure_scenario, run_scenario,
+    workload_clients, AutoscalerConfig, BatchPlan, BatchPolicy, ChaosConfig, ChaosPlan,
+    DisaggWorkload, EngineSpec, FabricConfig, FcfsBatch, FlashCrowdSource, LruEvictor, NoEvict,
+    PrefixAwareEvictor, RunSummary, Scenario, ShortestPromptFirst, StepView, SystemKind,
+    ThresholdAutoscaler, Workload, L4_LITE, REGIONS,
 };
 
 /// Independently materializes the scenario's traffic and counts every
@@ -223,4 +224,136 @@ fn memory_pressure_engines_conserve_requests() {
         preemptions_seen > 0,
         "no engine preempted — the preemption path went unexercised"
     );
+}
+
+/// The role-aware half of the ledger: KV handoffs between prefill and
+/// decode replicas conserve both the handoff count and every
+/// transferred token. A drained run leaves nothing on the wire.
+fn assert_transfers_conserved(tag: &str, s: &RunSummary) {
+    let t = &s.transfers;
+    assert_eq!(
+        t.started,
+        t.landed + t.aborted,
+        "{tag}: started {} != landed {} + aborted {} (+ in-transfer {})",
+        t.started,
+        t.landed,
+        t.aborted,
+        t.in_transfer()
+    );
+    assert_eq!(
+        t.tokens_sent,
+        t.tokens_landed + t.tokens_aborted,
+        "{tag}: transferred tokens leak across the handoff boundary \
+         (sent {}, landed {}, aborted {})",
+        t.tokens_sent,
+        t.tokens_landed,
+        t.tokens_aborted
+    );
+    assert_eq!(
+        t.in_transfer(),
+        0,
+        "{tag}: drained run left handoffs in flight"
+    );
+    assert_eq!(
+        t.tokens_in_transfer(),
+        0,
+        "{tag}: drained run left tokens in flight"
+    );
+}
+
+/// Disaggregated runs obey the same request ledger as colocated ones —
+/// every injected request is completed, failed, or in flight at the end
+/// — plus the transfer ledger on top. Both traffic shapes, both modes.
+#[test]
+fn disagg_runs_conserve_requests_and_transfers() {
+    for workload in DisaggWorkload::ALL {
+        for disagg in [false, true] {
+            for seed in [3u64, 19] {
+                let scenario = disagg_scenario(workload, disagg, 0.5, seed);
+                let tag = format!("{}/seed{seed}", scenario.label);
+                let expected = injected(&scenario);
+                assert!(expected > 0);
+                let s = run_scenario(&scenario, &FabricConfig::default());
+                assert_conserved(&tag, expected, &s);
+                assert_transfers_conserved(&tag, &s);
+                if disagg {
+                    assert!(
+                        s.transfers.started > 0,
+                        "{tag}: split mode never handed off"
+                    );
+                } else {
+                    assert_eq!(s.transfers.started, 0, "{tag}: colocated mode handed off");
+                }
+            }
+        }
+    }
+}
+
+/// Chaos over a disaggregated fleet: crashes land on prefill replicas
+/// mid-handoff and on decode replicas with transfers inbound. A
+/// casualty is rerouted once or counted failed — never stranded — and
+/// the transfer ledger still balances token for token.
+#[test]
+fn disagg_chaos_conserves_requests_and_transfers() {
+    let mut crashes_seen = 0u64;
+    let mut casualties_seen = 0u64;
+    for seed in [5u64, 23, 61] {
+        let mut scenario = disagg_scenario(DisaggWorkload::DecodeHeavy, true, 0.5, seed);
+        scenario.fleet_plan = Some(Box::new(ChaosPlan::new(
+            ChaosConfig {
+                mtbf: SimDuration::from_secs(20),
+                mttr: SimDuration::from_secs(15),
+                min_live_per_region: 1,
+                ..ChaosConfig::default()
+            },
+            seed,
+        )));
+        scenario.label = format!("disagg/chaos/seed{seed}");
+        let expected = injected(&scenario);
+        assert!(expected > 0);
+        let s = run_scenario(&scenario, &FabricConfig::default());
+        assert_conserved(&scenario.label, expected, &s);
+        assert_transfers_conserved(&scenario.label, &s);
+        crashes_seen += s.fleet.crashes;
+        casualties_seen += s.report.retried + s.report.failed + s.transfers.aborted;
+    }
+    assert!(crashes_seen > 0, "chaos never crashed a replica");
+    assert!(
+        casualties_seen > 0,
+        "no crash ever caught a request in flight — the reroute path went unexercised"
+    );
+}
+
+/// Autoscaling over a role-split fleet: prefill-heavy traffic saturates
+/// the two prefill replicas, the balancer queue grows, and the reactive
+/// autoscaler joins fresh *colocated* replicas (the fleet-plan
+/// vocabulary has no role axis) — which also become decode targets.
+/// The request and transfer ledgers balance through the churn.
+#[test]
+fn disagg_autoscaler_run_conserves_requests_and_transfers() {
+    let seed = 31;
+    let mut scenario = disagg_scenario(DisaggWorkload::PrefillHeavy, true, 1.5, seed);
+    // `scale_in_load: 0.0` keeps the pre-burst idle poll from draining
+    // a replica and burning the cooldown window the burst needs; the
+    // drain path is covered by `autoscaler_run_conserves_requests`.
+    scenario.fleet_plan = Some(Box::new(ThresholdAutoscaler::new(AutoscalerConfig {
+        min_per_region: 2,
+        max_per_region: 8,
+        scale_out_load: 1.5,
+        scale_in_load: 0.0,
+        cooldown: SimDuration::from_secs(10),
+        provision_delay: SimDuration::from_secs(5),
+        profile: L4_LITE,
+    })));
+    scenario.label = "disagg/autoscale".to_string();
+    let expected = injected(&scenario);
+    assert!(expected > 0);
+    let s = run_scenario(&scenario, &FabricConfig::default());
+    assert!(
+        s.fleet.joins > 0,
+        "prefill saturation should have forced a scale-out (joins = 0)"
+    );
+    assert!(s.transfers.started > 0, "the split fleet never handed off");
+    assert_conserved("disagg/autoscale", expected, &s);
+    assert_transfers_conserved("disagg/autoscale", &s);
 }

@@ -8,8 +8,9 @@
 
 use skywalker::sim::SimDuration;
 use skywalker::{
-    diurnal_recipe, fig10_diurnal_scenario, fig8_recipe, fig8_scenario, memory_pressure_scenario,
-    run_scenario, EngineSpec, FabricConfig, RunSummary, Scenario, SystemKind, Workload,
+    disagg_recipe, disagg_scenario, diurnal_recipe, fig10_diurnal_scenario, fig8_recipe,
+    fig8_scenario, memory_pressure_scenario, run_scenario, DisaggWorkload, EngineSpec,
+    FabricConfig, RunSummary, Scenario, SystemKind, Workload,
 };
 use skywalker_lab::SweepSpec;
 use skywalker_metrics::json::{Report, Val};
@@ -45,6 +46,10 @@ fn digest(tag: &str, seed: u64, s: &RunSummary) -> String {
         ("dispatch_imbalance", Val::from(s.dispatch_imbalance)),
         ("preempted", Val::from(s.preempted)),
         ("evicted_tokens", Val::from(s.evicted_tokens)),
+        ("demoted_tokens", Val::from(s.demoted_tokens)),
+        ("promoted_tokens", Val::from(s.promoted_tokens)),
+        ("kv_transfers", Val::from(s.transfers.started)),
+        ("kv_transfer_tokens", Val::from(s.transfers.tokens_sent)),
         ("fleet_crashes", Val::from(s.fleet.crashes)),
     ]);
     rep.render()
@@ -95,6 +100,18 @@ fn diurnal_preset_is_stable_across_reruns() {
 /// test run.
 const DIURNAL_DAY: SimDuration = SimDuration::from_secs(120);
 
+/// The disaggregated preset: prefill→decode handoffs add a whole event
+/// family (`KvTransfer`) plus the two-tier cache's demote/promote
+/// machinery, all of which must be as replayable as the classical path.
+/// The digest includes the transfer and tier counters, so a
+/// nondeterministic handoff cannot hide behind stable latencies.
+#[test]
+fn disagg_preset_is_stable_across_reruns() {
+    assert_double_run("disagg", |seed| {
+        disagg_scenario(DisaggWorkload::DecodeHeavy, true, 0.5, seed)
+    });
+}
+
 /// The diurnal cell again, through the lab's parallel executor: worker
 /// count must be invisible in the rendered sweep report.
 #[test]
@@ -110,6 +127,30 @@ fn lab_diurnal_sweep_is_worker_count_invariant() {
     assert_eq!(
         serial, parallel,
         "diurnal sweep results must be bit-identical at any worker count"
+    );
+}
+
+/// The role axis through the lab: a sweep mixing colocated and split
+/// cells of both traffic shapes renders identically at any worker
+/// count. Handoff scheduling rides the same deterministic event queue
+/// as everything else, so thread placement must be invisible.
+#[test]
+fn lab_disagg_sweep_is_worker_count_invariant() {
+    let sweep = || {
+        let mut spec = SweepSpec::new("double-run-disagg", 42).replicates(2);
+        for wl in DisaggWorkload::ALL {
+            for disagg in [false, true] {
+                let label = format!("{}/{}", wl.label(), if disagg { "split" } else { "colo" });
+                spec = spec.cell(label, disagg_recipe(wl, disagg, 0.5));
+            }
+        }
+        spec
+    };
+    let serial = sweep().run(1).report().json_string();
+    let parallel = sweep().run(2).report().json_string();
+    assert_eq!(
+        serial, parallel,
+        "disagg sweep results must be bit-identical at any worker count"
     );
 }
 

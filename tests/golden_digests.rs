@@ -24,9 +24,10 @@
 
 use skywalker::sim::SimDuration;
 use skywalker::{
-    fig10_diurnal_scenario, fig10_scenario, fig8_scenario, fig9_scenario, memory_pressure_scenario,
-    run_scenario, EngineSpec, FabricConfig, FcfsBatch, LruEvictor, NoEvict, PrefixAwareEvictor,
-    RunSummary, Scenario, ShortestPromptFirst, SystemKind, TraceConfig, Workload,
+    disagg_scenario, fig10_diurnal_scenario, fig10_scenario, fig8_scenario, fig9_scenario,
+    memory_pressure_scenario, run_scenario, DisaggWorkload, EngineSpec, FabricConfig, FcfsBatch,
+    LruEvictor, NoEvict, PrefixAwareEvictor, RunSummary, Scenario, ShortestPromptFirst, SystemKind,
+    TraceConfig, Workload,
 };
 use skywalker_metrics::json::{Report, Val};
 
@@ -82,7 +83,34 @@ fn digest_row(tag: &str, seed: u64, s: &RunSummary) -> Vec<(String, Val)> {
     .collect()
 }
 
+/// The disagg group's digest: the shared row plus the handoff and tier
+/// counters that only the role-split presets exercise. Kept out of
+/// `digest_row` so the pre-disagg golden files stay byte-identical.
+fn disagg_row(tag: &str, seed: u64, s: &RunSummary) -> Vec<(String, Val)> {
+    let mut fields = digest_row(tag, seed, s);
+    for (k, v) in [
+        ("kv_transfers", Val::from(s.transfers.started)),
+        ("kv_transfers_landed", Val::from(s.transfers.landed)),
+        ("kv_transfers_aborted", Val::from(s.transfers.aborted)),
+        ("kv_transfer_tokens", Val::from(s.transfers.tokens_sent)),
+        ("demoted_tokens", Val::from(s.demoted_tokens)),
+        ("promoted_tokens", Val::from(s.promoted_tokens)),
+    ] {
+        fields.push((k.to_string(), v));
+    }
+    fields
+}
+
 fn render_group(name: &str, cells: &[GoldenCell], instrument: Instrument) -> String {
+    render_group_with(name, cells, instrument, digest_row)
+}
+
+fn render_group_with(
+    name: &str,
+    cells: &[GoldenCell],
+    instrument: Instrument,
+    row: fn(&str, u64, &RunSummary) -> Vec<(String, Val)>,
+) -> String {
     let mut rep = Report::new(format!("golden_{name}"));
     rep.meta("seeds", format!("{SEEDS:?}"));
     for (tag, build) in cells {
@@ -115,7 +143,7 @@ fn render_group(name: &str, cells: &[GoldenCell], instrument: Instrument) -> Str
                     "{tag}/{seed}: telemetry was requested but sampled nothing"
                 ),
             }
-            let fields = digest_row(tag, seed, &summary);
+            let fields = row(tag, seed, &summary);
             let refs: Vec<(&str, Val)> = fields
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
@@ -276,6 +304,28 @@ fn memory_pressure_cells() -> CellList {
 #[test]
 fn golden_memory_pressure() {
     run_group("memory_pressure", memory_pressure_cells());
+}
+
+/// The disaggregation axis: both traffic shapes, colocated and split,
+/// digested with the transfer and tier-migration counters appended.
+/// The colo rows pin that a role-free fleet stays on the classical path
+/// (zero transfers); the split rows pin the handoff pipeline itself.
+#[test]
+fn golden_disagg() {
+    let mut cells: CellList = Vec::new();
+    for wl in DisaggWorkload::ALL {
+        for disagg in [false, true] {
+            let tag = format!("{}/{}", wl.label(), if disagg { "split" } else { "colo" });
+            cells.push((
+                tag,
+                Box::new(move |seed| disagg_scenario(wl, disagg, 0.5, seed)),
+            ));
+        }
+    }
+    compare_or_update(
+        "disagg",
+        &render_group_with("disagg", &cells, Instrument::None, disagg_row),
+    );
 }
 
 /// Tracing is observation-only: re-running the memory-pressure group

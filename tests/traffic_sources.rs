@@ -9,9 +9,9 @@ use skywalker::replica::GpuProfile;
 use skywalker::sim::{SimDuration, SimTime};
 use skywalker::workload::{ArrivalSchedule, ConversationConfig, ConversationSource};
 use skywalker::{
-    balanced_fleet, run_scenario, workload_clients, FabricConfig, FlashCrowdSource,
-    RagCorpusConfig, RagCorpusSource, ReplicaPlacement, RunSummary, Scenario, ScenarioError,
-    SystemKind, Workload,
+    balanced_fleet, lite_fleet, run_scenario, workload_clients, FabricConfig, FlashCrowdSource,
+    RagCorpusConfig, RagCorpusSource, ReplicaPlacement, ReplicaRole, RunSummary, Scenario,
+    ScenarioError, SystemKind, Workload,
 };
 
 fn conservation(s: &RunSummary, expected: usize, what: &str) {
@@ -152,6 +152,60 @@ fn builder_validates_fleet_and_traffic() {
         ScenarioError::NoTraffic,
         "an exhausted source is no traffic"
     );
+}
+
+/// Role-topology validation: a prefill-only replica needs a
+/// decode-capable peer (colocated or decode-only) *in its own region* —
+/// KV handoff never crosses the WAN. One case per region topology.
+#[test]
+fn builder_rejects_prefill_regions_without_decode_capacity() {
+    use ReplicaRole::{Colocated, DecodeOnly, PrefillOnly};
+    let build = |counts: &[(Region, u32)], roles: Vec<ReplicaRole>| {
+        Scenario::builder()
+            .replicas(lite_fleet(counts))
+            .roles(roles)
+            .workload(Workload::Arena, 0.05, 1)
+            .build()
+    };
+    let us = Region::UsEast;
+    let eu = Region::EuWest;
+
+    // A region whose only replicas are prefill-only: every handoff from
+    // there would have nowhere to land.
+    let err = build(&[(us, 2)], vec![PrefillOnly, PrefillOnly]).unwrap_err();
+    assert_eq!(err, ScenarioError::NoDecodeCapacity);
+
+    // Decode capacity in another region does not count: the transfer
+    // target must be region-local.
+    let err = build(&[(us, 1), (eu, 1)], vec![PrefillOnly, DecodeOnly]).unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::NoDecodeCapacity,
+        "a decode replica across the WAN is not a handoff target"
+    );
+
+    // A decode-only peer in the same region satisfies the prefill side.
+    build(&[(us, 2)], vec![PrefillOnly, DecodeOnly]).expect("split pair in one region is valid");
+
+    // A colocated peer decodes too, so it also satisfies it — including
+    // via the default: roles shorter than the fleet pad with Colocated.
+    build(&[(us, 2)], vec![PrefillOnly, Colocated]).expect("colocated peer decodes");
+    build(&[(us, 2)], vec![PrefillOnly]).expect("missing role entries default to Colocated");
+
+    // Topologies with no prefill-only replica never trip the check:
+    // all-colocated fleets and even a decode-only singleton (it simply
+    // serves full requests' decode phase for colocated prefill elsewhere
+    // — here, nothing hands off to it, which is legal if wasteful).
+    build(&[(us, 1), (eu, 1)], vec![Colocated, Colocated]).expect("all-colocated is valid");
+    build(&[(us, 1), (eu, 1)], vec![Colocated, DecodeOnly])
+        .expect("a decode-only replica with no prefill peer is legal");
+
+    // Mixed multi-region: each region independently satisfied.
+    build(
+        &[(us, 2), (eu, 2)],
+        vec![PrefillOnly, DecodeOnly, PrefillOnly, Colocated],
+    )
+    .expect("both regions have local decode capacity");
 }
 
 /// The RAG shared-corpus source — written entirely outside
